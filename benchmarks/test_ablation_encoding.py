@@ -1,0 +1,89 @@
+"""Ablation: vertex identifier choice (the core design decision of GraphHD).
+
+The paper's key encoding idea is to identify vertices across graphs by their
+PageRank centrality *rank*.  This ablation replaces PageRank with degree
+centrality, eigenvector centrality and a random (no cross-graph meaning)
+identifier, and measures cross-validated accuracy on two benchmark-style
+datasets.  Expected shape: any meaningful centrality beats the random
+identifier; PageRank and eigenvector/degree centralities perform similarly on
+small sparse graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.cross_validation import cross_validate
+from repro.eval.reporting import render_table
+
+from conftest import print_report
+
+CENTRALITIES = ("pagerank", "degree", "eigenvector", "random")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_vertex_identifier(benchmark, profile, benchmark_datasets):
+    """Compare PageRank-rank identifiers against degree/eigenvector/random."""
+    datasets = [benchmark_datasets["MUTAG"], benchmark_datasets["PROTEINS"]]
+
+    def run_pagerank_configuration():
+        results = {}
+        for dataset in datasets:
+            results[dataset.name] = cross_validate(
+                lambda: GraphHDClassifier(
+                    GraphHDConfig(
+                        dimension=profile.dimension, centrality="pagerank", seed=0
+                    )
+                ),
+                dataset,
+                method_name="GraphHD[pagerank]",
+                n_splits=profile.n_splits,
+                repetitions=1,
+                seed=profile.seed,
+            )
+        return results
+
+    pagerank_results = benchmark.pedantic(
+        run_pagerank_configuration, rounds=1, iterations=1
+    )
+
+    accuracy: dict[str, dict[str, float]] = {
+        dataset.name: {"pagerank": pagerank_results[dataset.name].mean_accuracy}
+        for dataset in datasets
+    }
+    for centrality in CENTRALITIES[1:]:
+        for dataset in datasets:
+            result = cross_validate(
+                lambda centrality=centrality: GraphHDClassifier(
+                    GraphHDConfig(
+                        dimension=profile.dimension, centrality=centrality, seed=0
+                    )
+                ),
+                dataset,
+                method_name=f"GraphHD[{centrality}]",
+                n_splits=profile.n_splits,
+                repetitions=1,
+                seed=profile.seed,
+            )
+            accuracy[dataset.name][centrality] = result.mean_accuracy
+
+    rows = [
+        [name] + [round(accuracy[name][centrality], 3) for centrality in CENTRALITIES]
+        for name in accuracy
+    ]
+    print_report(
+        "Ablation: vertex identifier (cross-validated accuracy)",
+        render_table(["dataset"] + list(CENTRALITIES), rows),
+    )
+
+    for name, row in accuracy.items():
+        meaningful = max(row["pagerank"], row["degree"], row["eigenvector"])
+        # A topology-aware identifier must not lose badly to the random one,
+        # and PageRank (the paper's choice) must be competitive with the best
+        # alternative centrality (the subsampled quick profile is noisy, so
+        # the tolerance is generous; at full scale the gap shrinks further).
+        assert meaningful >= row["random"] - 0.05, name
+        assert row["pagerank"] >= meaningful - 0.15, name
+        assert row["pagerank"] >= row["random"] - 0.05, name

@@ -1,0 +1,172 @@
+"""Ablation: bundling normalization, similarity metric, and the paper's extensions.
+
+Covers the remaining design choices listed in DESIGN.md §5:
+
+* majority-vote (sign) normalization of graph hypervectors vs. raw integer
+  accumulators;
+* cosine vs. Hamming similarity at inference;
+* the future-work extensions (retraining, multiple class vectors per class)
+  that trade efficiency for accuracy, quantifying what they buy on a
+  benchmark-style dataset.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.extensions import (
+    MultiCentroidGraphHDClassifier,
+    RetrainedGraphHDClassifier,
+)
+from repro.core.model import GraphHDClassifier
+from repro.eval.cross_validation import cross_validate
+from repro.eval.reporting import render_table
+
+from conftest import print_report
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_normalization_and_similarity(benchmark, profile, benchmark_datasets):
+    """Sign-normalized vs. integer graph hypervectors, cosine vs. Hamming."""
+    dataset = benchmark_datasets["MUTAG"]
+
+    configurations = {
+        "bipolar + cosine (paper)": dict(normalize=True, metric="cosine"),
+        "integer + cosine": dict(normalize=False, metric="cosine"),
+        "bipolar + hamming": dict(normalize=True, metric="hamming"),
+    }
+
+    def run_paper_configuration():
+        return cross_validate(
+            lambda: GraphHDClassifier(
+                GraphHDConfig(
+                    dimension=profile.dimension,
+                    normalize_graph_hypervectors=True,
+                    seed=0,
+                ),
+                metric="cosine",
+            ),
+            dataset,
+            method_name="GraphHD[paper]",
+            n_splits=profile.n_splits,
+            repetitions=1,
+            seed=profile.seed,
+        )
+
+    results = {"bipolar + cosine (paper)": benchmark.pedantic(
+        run_paper_configuration, rounds=1, iterations=1
+    )}
+    for name, options in configurations.items():
+        if name in results:
+            continue
+        results[name] = cross_validate(
+            lambda options=options: GraphHDClassifier(
+                GraphHDConfig(
+                    dimension=profile.dimension,
+                    normalize_graph_hypervectors=options["normalize"],
+                    seed=0,
+                ),
+                metric=options["metric"],
+            ),
+            dataset,
+            method_name=f"GraphHD[{name}]",
+            n_splits=profile.n_splits,
+            repetitions=1,
+            seed=profile.seed,
+        )
+
+    rows = [
+        [name, round(result.mean_accuracy, 3), round(result.mean_train_seconds, 4)]
+        for name, result in results.items()
+    ]
+    print_report(
+        "Ablation: bundling normalization and similarity metric (MUTAG-style dataset)",
+        render_table(["configuration", "accuracy", "train seconds/fold"], rows),
+    )
+
+    paper_accuracy = results["bipolar + cosine (paper)"].mean_accuracy
+    for name, result in results.items():
+        # All three variants are legitimate HDC designs; none should collapse.
+        assert result.mean_accuracy > 0.5, name
+    # The paper's configuration should be competitive with the alternatives.
+    best = max(result.mean_accuracy for result in results.values())
+    assert paper_accuracy >= best - 0.15
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_accuracy_efficiency_extensions(benchmark, profile, benchmark_datasets):
+    """Future-work extensions: retraining and multi-centroid class vectors.
+
+    Section VII asks to what extent GraphHD's efficiency can be traded for
+    accuracy.  This benchmark quantifies the trade on the ENZYMES-style
+    dataset (the hardest one): extra training cost vs. accuracy gained.
+    """
+    dataset = benchmark_datasets["ENZYMES"]
+    config = GraphHDConfig(dimension=profile.dimension, seed=0)
+
+    variants = {
+        "GraphHD (baseline)": lambda: GraphHDClassifier(config),
+        "GraphHD + retraining (10 epochs)": lambda: RetrainedGraphHDClassifier(
+            config, retrain_epochs=10
+        ),
+        "GraphHD + 2 centroids per class": lambda: MultiCentroidGraphHDClassifier(
+            config, centroids_per_class=2
+        ),
+    }
+
+    def run_baseline():
+        return cross_validate(
+            variants["GraphHD (baseline)"],
+            dataset,
+            method_name="GraphHD",
+            n_splits=profile.n_splits,
+            repetitions=1,
+            seed=profile.seed,
+        )
+
+    results = {"GraphHD (baseline)": benchmark.pedantic(run_baseline, rounds=1, iterations=1)}
+    for name, factory in variants.items():
+        if name in results:
+            continue
+        results[name] = cross_validate(
+            factory,
+            dataset,
+            method_name=name,
+            n_splits=profile.n_splits,
+            repetitions=1,
+            seed=profile.seed,
+        )
+
+    baseline = results["GraphHD (baseline)"]
+    rows = []
+    for name, result in results.items():
+        slowdown = result.mean_train_seconds / max(baseline.mean_train_seconds, 1e-9)
+        rows.append(
+            [
+                name,
+                round(result.mean_accuracy, 3),
+                round(result.mean_train_seconds, 4),
+                f"{slowdown:.1f}x",
+            ]
+        )
+    print_report(
+        "Ablation: accuracy/efficiency trade-off of the paper's future-work "
+        "extensions (ENZYMES-style dataset)",
+        render_table(
+            ["variant", "accuracy", "train seconds/fold", "training cost vs baseline"],
+            rows,
+        ),
+    )
+
+    for name, result in results.items():
+        assert 0.0 <= result.mean_accuracy <= 1.0
+        assert result.mean_train_seconds > 0
+    # The extensions must not be catastrophically worse than the baseline.
+    for name in (
+        "GraphHD + retraining (10 epochs)",
+        "GraphHD + 2 centroids per class",
+    ):
+        assert results[name].mean_accuracy >= baseline.mean_accuracy - 0.15

@@ -1,0 +1,78 @@
+"""Figure 3 (left): classification accuracy of the five methods on six datasets.
+
+Regenerates the accuracy panel of Figure 3: GraphHD vs the kernel methods
+(1-WL, WL-OA) and the GNNs (GIN-eps, GIN-eps-JK) under cross-validation.  The
+paper's qualitative finding is that GraphHD reaches comparable accuracy on
+most datasets, with the kernel methods ahead on the hardest, least
+structure-separable datasets (NCI1, ENZYMES).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.reporting import render_panel
+
+from conftest import print_report
+
+#: Accuracy values read off Figure 3 (left) of the paper, used only for the
+#: side-by-side report; absolute values are not expected to match because the
+#: datasets are synthetic stand-ins.
+PAPER_ACCURACY = {
+    "DD": {"GraphHD": 0.70, "1-WL": 0.74, "WL-OA": 0.75, "GIN-e": 0.71, "GIN-e-JK": 0.71},
+    "ENZYMES": {"GraphHD": 0.25, "1-WL": 0.38, "WL-OA": 0.37, "GIN-e": 0.26, "GIN-e-JK": 0.26},
+    "MUTAG": {"GraphHD": 0.85, "1-WL": 0.86, "WL-OA": 0.85, "GIN-e": 0.85, "GIN-e-JK": 0.85},
+    "NCI1": {"GraphHD": 0.64, "1-WL": 0.78, "WL-OA": 0.78, "GIN-e": 0.66, "GIN-e-JK": 0.66},
+    "PROTEINS": {"GraphHD": 0.72, "1-WL": 0.72, "WL-OA": 0.73, "GIN-e": 0.72, "GIN-e-JK": 0.72},
+    "PTC_FM": {"GraphHD": 0.60, "1-WL": 0.61, "WL-OA": 0.61, "GIN-e": 0.61, "GIN-e-JK": 0.62},
+}
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3_accuracy(benchmark, profile, benchmark_datasets, figure3_comparison):
+    """Regenerate the accuracy panel and check GraphHD is comparable to baselines."""
+    # Benchmark one representative unit of the experiment: training GraphHD on
+    # one fold of the MUTAG-style dataset.
+    mutag = benchmark_datasets["MUTAG"]
+    split = int(len(mutag) * 0.9)
+
+    def train_graphhd_one_fold():
+        model = GraphHDClassifier(GraphHDConfig(dimension=profile.dimension, seed=0))
+        model.fit(mutag.graphs[:split], mutag.labels[:split])
+        return model
+
+    benchmark.pedantic(train_graphhd_one_fold, rounds=1, iterations=1)
+
+    measured = figure3_comparison.accuracy_table()
+    print_report(
+        "Figure 3 (left): accuracy — measured (this reproduction)",
+        render_panel(measured, title="accuracy", value_name="mean over folds"),
+    )
+    print_report(
+        "Figure 3 (left): accuracy — paper (real TUDataset, full protocol)",
+        render_panel(PAPER_ACCURACY, title="accuracy", value_name="approximate values"),
+    )
+
+    for dataset_name, dataset in benchmark_datasets.items():
+        row = measured[dataset_name]
+        majority = max(dataset.class_counts().values()) / len(dataset)
+        # GraphHD must beat the majority-class baseline on the clearly
+        # structure-separable datasets.  The paper itself reports GraphHD
+        # trailing the kernels substantially on the two hardest datasets
+        # (NCI1 by ~18%, ENZYMES by ~12%), so those are exempt.
+        if dataset_name not in ("NCI1", "ENZYMES"):
+            assert row["GraphHD"] > majority, (
+                f"GraphHD failed to beat the majority baseline on {dataset_name}"
+            )
+        # GraphHD must be comparable to the strongest baseline: the paper
+        # reports gaps up to ~18% (NCI1); allow additional slack because the
+        # subsampled synthetic datasets have higher fold-to-fold variance.
+        best_baseline = max(
+            value for method, value in row.items() if method != "GraphHD"
+        )
+        assert row["GraphHD"] >= best_baseline - 0.35, (
+            f"GraphHD accuracy on {dataset_name} is not comparable: "
+            f"{row['GraphHD']:.3f} vs best baseline {best_baseline:.3f}"
+        )

@@ -1,0 +1,93 @@
+"""Table I: statistics of the graph datasets.
+
+Regenerates the dataset-statistics table (number of graphs, classes, average
+vertices, average edges) from the synthetic benchmark datasets and prints it
+next to the values reported in the paper.  The benchmark measures the dataset
+generation itself, which is the substrate every other experiment relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import DATASET_SPECS, make_benchmark_dataset
+from repro.eval.reporting import render_table
+
+from conftest import PAPER_TABLE1, print_report
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_statistics(benchmark, profile, benchmark_datasets):
+    """Regenerate Table I and check the synthetic datasets match its statistics."""
+    # Benchmark the generation of one mid-sized dataset (the substrate cost).
+    benchmark.pedantic(
+        lambda: make_benchmark_dataset("MUTAG", scale=profile.dataset_scale("MUTAG"), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name in sorted(benchmark_datasets):
+        stats = benchmark_datasets[name].statistics()
+        paper_graphs, paper_classes, paper_vertices, paper_edges = PAPER_TABLE1[name]
+        rows.append(
+            [
+                name,
+                stats.num_graphs,
+                paper_graphs,
+                stats.num_classes,
+                paper_classes,
+                round(stats.avg_vertices, 2),
+                paper_vertices,
+                round(stats.avg_edges, 2),
+                paper_edges,
+            ]
+        )
+    table = render_table(
+        [
+            "dataset",
+            "graphs",
+            "graphs (paper)",
+            "classes",
+            "classes (paper)",
+            "avg vertices",
+            "avg vertices (paper)",
+            "avg edges",
+            "avg edges (paper)",
+        ],
+        rows,
+    )
+    print_report(
+        "Table I: statistics of graph datasets (measured vs. paper)", table
+    )
+
+    for name, dataset in benchmark_datasets.items():
+        stats = dataset.statistics()
+        _, paper_classes, paper_vertices, paper_edges = PAPER_TABLE1[name]
+        # Class structure must match exactly.
+        assert stats.num_classes == paper_classes
+        # Graph sizes must track Table I: loose tolerances because the quick
+        # profile subsamples the datasets.
+        assert abs(stats.avg_vertices - paper_vertices) / paper_vertices < 0.40
+        assert abs(stats.avg_edges - paper_edges) / paper_edges < 0.75
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_scale_graph_counts(benchmark):
+    """At scale 1.0 the generators reproduce the exact Table I graph counts."""
+
+    def generate_smallest_full_dataset():
+        return make_benchmark_dataset("MUTAG", scale=1.0, seed=0)
+
+    dataset = benchmark.pedantic(generate_smallest_full_dataset, rounds=1, iterations=1)
+    assert len(dataset) == DATASET_SPECS["MUTAG"].num_graphs
+
+    rows = []
+    for name, spec in DATASET_SPECS.items():
+        rows.append([name, spec.num_graphs, PAPER_TABLE1[name][0]])
+    print_report(
+        "Table I: full-scale graph counts (spec vs. paper)",
+        render_table(["dataset", "spec graphs", "paper graphs"], rows),
+    )
+    for name, spec in DATASET_SPECS.items():
+        assert spec.num_graphs == PAPER_TABLE1[name][0]

@@ -1,0 +1,121 @@
+"""Molecular graph classification: GraphHD vs a WL kernel, plus extensions.
+
+This example mirrors the chemistry workloads that motivate the paper (MUTAG,
+NCI1, PTC): small sparse molecule-like graphs whose class depends on their
+topology.  It
+
+1. compares plain GraphHD against the 1-WL subtree kernel baseline on a
+   PTC_FM-style dataset,
+2. shows the two future-work extensions of the paper — perceptron-style
+   retraining and multiple class vectors per class — and how much accuracy
+   they buy back, and
+3. shows the label-aware encoder using the vertex labels that the structural
+   baseline ignores.
+
+Usage::
+
+    python examples/molecule_classification.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GraphHDClassifier, GraphHDConfig, load_dataset
+from repro.core.extensions import (
+    LabelAwareGraphHDEncoder,
+    MultiCentroidGraphHDClassifier,
+    RetrainedGraphHDClassifier,
+)
+from repro.datasets.splits import train_test_split
+from repro.eval.metrics import accuracy_score, confusion_matrix
+from repro.eval.methods import make_method
+from repro.eval.reporting import render_table
+from repro.hdc.classifier import CentroidClassifier
+
+
+def evaluate(name, model, train_graphs, train_labels, test_graphs, test_labels):
+    """Fit a model, measure wall time, and return a result row."""
+    start = time.perf_counter()
+    model.fit(train_graphs, train_labels)
+    train_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    predictions = model.predict(test_graphs)
+    test_seconds = time.perf_counter() - start
+    accuracy = accuracy_score(test_labels, predictions)
+    return [name, f"{accuracy:.3f}", f"{train_seconds:.3f}", f"{test_seconds:.4f}"], predictions
+
+
+def main() -> None:
+    dataset = load_dataset("PTC_FM", scale=1.0, seed=0)
+    print(f"Toxicology-style dataset: {len(dataset)} molecule graphs, "
+          f"{dataset.num_classes} classes")
+
+    train_indices, test_indices = train_test_split(dataset.labels, test_fraction=0.2, seed=0)
+    train_graphs = [dataset.graphs[i] for i in train_indices]
+    train_labels = [dataset.labels[i] for i in train_indices]
+    test_graphs = [dataset.graphs[i] for i in test_indices]
+    test_labels = [dataset.labels[i] for i in test_indices]
+
+    config = GraphHDConfig(dimension=10_000, seed=0)
+    rows = []
+
+    row, graphhd_predictions = evaluate(
+        "GraphHD",
+        GraphHDClassifier(config),
+        train_graphs, train_labels, test_graphs, test_labels,
+    )
+    rows.append(row)
+
+    row, _ = evaluate(
+        "GraphHD + retraining",
+        RetrainedGraphHDClassifier(config, retrain_epochs=10),
+        train_graphs, train_labels, test_graphs, test_labels,
+    )
+    rows.append(row)
+
+    row, _ = evaluate(
+        "GraphHD + 2 centroids/class",
+        MultiCentroidGraphHDClassifier(config, centroids_per_class=2),
+        train_graphs, train_labels, test_graphs, test_labels,
+    )
+    rows.append(row)
+
+    row, _ = evaluate(
+        "1-WL kernel + SVM",
+        make_method("1-WL", fast=True, seed=0),
+        train_graphs, train_labels, test_graphs, test_labels,
+    )
+    rows.append(row)
+
+    print()
+    print(
+        render_table(
+            ["method", "accuracy", "train [s]", "inference [s]"],
+            rows,
+            title="Structure-only molecular classification",
+        )
+    )
+
+    # Label-aware extension: the synthetic molecules carry categorical vertex
+    # labels (atom types); binding them into the edge hypervectors uses
+    # information the structural baseline throws away.
+    label_encoder = LabelAwareGraphHDEncoder(config)
+    classifier = CentroidClassifier(config.dimension)
+    classifier.fit(label_encoder.encode_many(train_graphs), train_labels)
+    label_accuracy = classifier.score(label_encoder.encode_many(test_graphs), test_labels)
+    print()
+    print(f"Label-aware GraphHD accuracy: {label_accuracy:.3f}")
+
+    matrix, classes = confusion_matrix(test_labels, graphhd_predictions)
+    print()
+    print("GraphHD confusion matrix (rows = true class):")
+    header = ["true \\ predicted"] + [str(c) for c in classes]
+    matrix_rows = [
+        [str(classes[i])] + [int(v) for v in matrix[i]] for i in range(len(classes))
+    ]
+    print(render_table(header, matrix_rows))
+
+
+if __name__ == "__main__":
+    main()

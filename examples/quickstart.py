@@ -1,0 +1,67 @@
+"""Quickstart: train GraphHD on a benchmark dataset and evaluate it.
+
+Runs in a few seconds.  It loads the synthetic MUTAG stand-in (or the real
+TUDataset files if ``GRAPHHD_TUDATASET_ROOT`` is set), trains the GraphHD
+classifier with the paper's configuration (10,000-dimensional bipolar
+hypervectors, PageRank vertex identifiers with 10 power iterations), and
+reports 5-fold cross-validated accuracy together with the training and
+inference times that make GraphHD attractive for resource-constrained
+settings.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphHDClassifier, GraphHDConfig, load_dataset
+from repro.eval.cross_validation import cross_validate
+from repro.eval.reporting import render_table
+
+
+def main() -> None:
+    dataset = load_dataset("MUTAG", scale=0.5, seed=0)
+    stats = dataset.statistics()
+    print(
+        f"Dataset {dataset.name}: {stats.num_graphs} graphs, "
+        f"{stats.num_classes} classes, "
+        f"{stats.avg_vertices:.1f} vertices and {stats.avg_edges:.1f} edges on average"
+    )
+
+    # The paper's configuration: d = 10,000 bipolar hypervectors, PageRank
+    # centrality ranks as vertex identifiers, 10 power iterations.
+    config = GraphHDConfig(dimension=10_000, pagerank_iterations=10, seed=0)
+
+    result = cross_validate(
+        lambda: GraphHDClassifier(config),
+        dataset,
+        method_name="GraphHD",
+        n_splits=5,
+        repetitions=1,
+        seed=0,
+    )
+
+    rows = [
+        ["accuracy (mean over folds)", f"{result.mean_accuracy:.3f}"],
+        ["accuracy (std over folds)", f"{result.std_accuracy:.3f}"],
+        ["training time per fold [s]", f"{result.mean_train_seconds:.3f}"],
+        ["inference time per graph [s]", f"{result.mean_inference_seconds_per_graph:.6f}"],
+    ]
+    print()
+    print(render_table(["metric", "value"], rows, title="GraphHD 5-fold cross-validation"))
+
+    # Single train/predict round-trip on a held-out split, for a minimal API tour.
+    split = int(len(dataset) * 0.8)
+    model = GraphHDClassifier(config)
+    model.fit(dataset.graphs[:split], dataset.labels[:split])
+    predictions = model.predict(dataset.graphs[split:])
+    actual = dataset.labels[split:]
+    holdout_accuracy = sum(p == a for p, a in zip(predictions, actual)) / len(actual)
+    print()
+    print(f"Hold-out accuracy on the last {len(actual)} graphs: {holdout_accuracy:.3f}")
+    print(f"Known classes: {model.classes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that offline environments with an older setuptools (no PEP 660
+editable-wheel support) can still do ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

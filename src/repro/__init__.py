@@ -1,0 +1,47 @@
+"""GraphHD reproduction: efficient graph classification with hyperdimensional computing.
+
+This package reproduces the system described in "GraphHD: Efficient graph
+classification using hyperdimensional computing" (Nunes et al., DATE 2022)
+together with every substrate and baseline it is evaluated against:
+
+* :mod:`repro.hdc` — hyperdimensional computing primitives (hypervectors,
+  bind/bundle/permute, item and associative memories, centroid classifier);
+* :mod:`repro.graphs` — graph data structure, random generators, PageRank and
+  other centralities, Weisfeiler–Leman refinement;
+* :mod:`repro.datasets` — TUDataset-format I/O, synthetic benchmark datasets
+  matching Table I, cross-validation splits;
+* :mod:`repro.kernels` — 1-WL and WL-OA graph kernels with a kernel SVM;
+* :mod:`repro.nn` — a numpy autodiff engine and the GIN-eps / GIN-eps-JK
+  baselines with Adam and a plateau LR scheduler;
+* :mod:`repro.core` — the GraphHD encoder and classifier plus the paper's
+  future-work extensions;
+* :mod:`repro.eval` — the 10-fold cross-validation harness, Figure 3
+  comparison and Figure 4 scaling experiment.
+"""
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.core.model import GraphHDClassifier
+from repro.core.extensions import (
+    LabelAwareGraphHDEncoder,
+    MultiCentroidGraphHDClassifier,
+    RetrainedGraphHDClassifier,
+)
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.dataset import GraphDataset
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphHDConfig",
+    "GraphHDEncoder",
+    "GraphHDClassifier",
+    "RetrainedGraphHDClassifier",
+    "MultiCentroidGraphHDClassifier",
+    "LabelAwareGraphHDEncoder",
+    "Graph",
+    "GraphDataset",
+    "load_dataset",
+    "available_datasets",
+    "__version__",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface for the GraphHD reproduction.
+
+Provides a thin wrapper over the library so the main experiments can be run
+without writing code::
+
+    python -m repro.cli quickstart --dataset MUTAG --scale 0.5
+    python -m repro.cli compare --datasets MUTAG PTC_FM --methods GraphHD 1-WL
+    python -m repro.cli scaling --sizes 50 100 200 --num-graphs 40
+    python -m repro.cli robustness --dataset MUTAG --fractions 0 0.1 0.3
+    python -m repro.cli datasets
+
+Every sub-command prints plain-text tables (the same renderer the benchmark
+harness uses) and returns a zero exit code on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.splits import train_test_split
+from repro.eval.comparison import compare_methods
+from repro.eval.cross_validation import cross_validate
+from repro.eval.methods import METHOD_NAMES
+from repro.eval.reporting import render_figure3, render_series, render_table
+from repro.eval.robustness import graphhd_robustness_curve
+from repro.eval.scaling import scaling_experiment
+
+
+def _add_quickstart_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "quickstart", help="cross-validate GraphHD on one benchmark dataset"
+    )
+    parser.add_argument("--dataset", default="MUTAG", help="benchmark dataset name")
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset subsample fraction")
+    parser.add_argument("--dimension", type=int, default=10_000, help="hypervector dimensionality")
+    parser.add_argument("--folds", type=int, default=5, help="number of cross-validation folds")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_compare_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="compare methods on benchmark datasets (Figure 3)"
+    )
+    parser.add_argument("--datasets", nargs="+", default=["MUTAG", "PTC_FM"])
+    parser.add_argument("--methods", nargs="+", default=list(METHOD_NAMES))
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--folds", type=int, default=3)
+    parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--dimension", type=int, default=10_000)
+    parser.add_argument("--fast", action="store_true", help="use reduced baseline settings")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_scaling_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scaling", help="training time vs. graph size sweep (Figure 4)"
+    )
+    parser.add_argument("--sizes", nargs="+", type=int, default=[50, 100, 200, 400])
+    parser.add_argument("--num-graphs", type=int, default=40)
+    parser.add_argument("--methods", nargs="+", default=["GraphHD", "GIN-e", "WL-OA"])
+    parser.add_argument("--edge-probability", type=float, default=0.05)
+    parser.add_argument("--dimension", type=int, default=10_000)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_robustness_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "robustness", help="accuracy under corrupted class hypervectors"
+    )
+    parser.add_argument("--dataset", default="MUTAG")
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument(
+        "--fractions",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.1, 0.2, 0.3, 0.4],
+        help="fractions of corrupted class-vector components",
+    )
+    parser.add_argument("--dimension", type=int, default=10_000)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_datasets_parser(subparsers) -> None:
+    subparsers.add_parser("datasets", help="list the available benchmark datasets")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser for ``python -m repro.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphHD reproduction: graph classification with hyperdimensional computing",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_quickstart_parser(subparsers)
+    _add_compare_parser(subparsers)
+    _add_scaling_parser(subparsers)
+    _add_robustness_parser(subparsers)
+    _add_datasets_parser(subparsers)
+    return parser
+
+
+def run_quickstart(args) -> str:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    result = cross_validate(
+        lambda: GraphHDClassifier(GraphHDConfig(dimension=args.dimension, seed=args.seed)),
+        dataset,
+        method_name="GraphHD",
+        n_splits=args.folds,
+        repetitions=1,
+        seed=args.seed,
+    )
+    rows = [
+        ["dataset", dataset.name],
+        ["graphs", len(dataset)],
+        ["classes", dataset.num_classes],
+        ["accuracy (mean)", round(result.mean_accuracy, 4)],
+        ["accuracy (std)", round(result.std_accuracy, 4)],
+        ["train seconds/fold", round(result.mean_train_seconds, 4)],
+        ["inference seconds/graph", round(result.mean_inference_seconds_per_graph, 6)],
+    ]
+    return render_table(["metric", "value"], rows, title="GraphHD quickstart")
+
+
+def run_compare(args) -> str:
+    datasets = [
+        load_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets
+    ]
+    comparison = compare_methods(
+        datasets,
+        methods=tuple(args.methods),
+        fast=args.fast,
+        n_splits=args.folds,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        dimension=args.dimension,
+    )
+    return render_figure3(comparison)
+
+
+def run_scaling(args) -> str:
+    points = scaling_experiment(
+        args.sizes,
+        methods=tuple(args.methods),
+        num_graphs=args.num_graphs,
+        edge_probability=args.edge_probability,
+        fast=args.fast,
+        seed=args.seed,
+        dimension=args.dimension,
+    )
+    series = {
+        method: [round(point.train_seconds[method], 4) for point in points]
+        for method in args.methods
+    }
+    return render_series(
+        [point.num_vertices for point in points],
+        series,
+        x_name="vertices",
+        title="Training time in seconds vs. graph size (Figure 4)",
+    )
+
+
+def run_robustness(args) -> str:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    train_indices, test_indices = train_test_split(
+        dataset.labels, test_fraction=0.25, seed=args.seed
+    )
+    curve = graphhd_robustness_curve(
+        lambda: GraphHDClassifier(GraphHDConfig(dimension=args.dimension, seed=args.seed)),
+        [dataset.graphs[i] for i in train_indices],
+        [dataset.labels[i] for i in train_indices],
+        [dataset.graphs[i] for i in test_indices],
+        [dataset.labels[i] for i in test_indices],
+        corruption_fractions=args.fractions,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    rows = [
+        [f"{point.corruption_fraction:.0%}", round(point.accuracy, 4)]
+        for point in curve.points
+    ]
+    return render_table(
+        ["corrupted components", "accuracy"],
+        rows,
+        title=f"GraphHD robustness on {dataset.name}",
+    )
+
+
+def run_datasets(args) -> str:
+    rows = [[name] for name in available_datasets()]
+    return render_table(["dataset"], rows, title="Available benchmark datasets")
+
+
+_COMMANDS = {
+    "quickstart": run_quickstart,
+    "compare": run_compare,
+    "scaling": run_scaling,
+    "robustness": run_robustness,
+    "datasets": run_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

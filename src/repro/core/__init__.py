@@ -1,0 +1,29 @@
+"""GraphHD: the paper's primary contribution.
+
+* :mod:`repro.core.encoding` — the GraphHD graph encoder: PageRank-centrality
+  ranks identify vertices across graphs, edges are encoded by binding the two
+  endpoint hypervectors, and the graph hypervector is the bundle of its edge
+  hypervectors (Section IV of the paper).
+* :mod:`repro.core.model` — the GraphHD classifier implementing Algorithm 1
+  (training) and nearest-class-vector inference.
+* :mod:`repro.core.extensions` — the future-work extensions sketched by the
+  paper: perceptron-style retraining, multiple class vectors per class, and a
+  label-aware encoding that incorporates vertex labels.
+"""
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.core.model import GraphHDClassifier
+from repro.core.extensions import (
+    LabelAwareGraphHDEncoder,
+    MultiCentroidGraphHDClassifier,
+    RetrainedGraphHDClassifier,
+)
+
+__all__ = [
+    "GraphHDConfig",
+    "GraphHDEncoder",
+    "GraphHDClassifier",
+    "RetrainedGraphHDClassifier",
+    "MultiCentroidGraphHDClassifier",
+    "LabelAwareGraphHDEncoder",
+]

@@ -1,0 +1,259 @@
+"""GraphHD extensions sketched in the paper's future-work section.
+
+Section VII of the paper proposes two research directions:
+
+1. trading some of GraphHD's efficiency for accuracy through standard HDC
+   techniques such as *retraining* and *multiple class vectors per class*;
+2. incorporating vertex/edge *labels and attributes* into the encoding.
+
+All three are implemented here so that the reproduction covers the paper's
+optional/extension scope:
+
+* :class:`RetrainedGraphHDClassifier` — GraphHD followed by perceptron-style
+  retraining epochs over the encoded training set;
+* :class:`MultiCentroidGraphHDClassifier` — splits every class into several
+  sub-centroids (clustered by similarity) and predicts the class of the most
+  similar sub-centroid;
+* :class:`LabelAwareGraphHDEncoder` — an encoder that binds each vertex with a
+  hypervector for its categorical label, and each edge with its edge-label
+  hypervector when present.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.core.model import GraphHDClassifier
+from repro.graphs.graph import Graph
+from repro.hdc.classifier import CentroidClassifier, RetrainingReport
+from repro.hdc.hypervector import HV_DTYPE
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.operations import normalize_hard, similarity_matrix
+
+
+class RetrainedGraphHDClassifier(GraphHDClassifier):
+    """GraphHD with perceptron-style retraining (future-work direction 1).
+
+    After the standard Algorithm 1 training pass, the encoded training set is
+    replayed for up to ``retrain_epochs`` epochs; each misclassified graph is
+    added to its true class vector and subtracted from the predicted one.
+    """
+
+    def __init__(
+        self,
+        config: GraphHDConfig | None = None,
+        *,
+        metric: str = "cosine",
+        retrain_epochs: int = 10,
+        learning_rate: float = 1.0,
+    ) -> None:
+        super().__init__(config, metric=metric)
+        if retrain_epochs < 0:
+            raise ValueError(f"retrain_epochs must be non-negative, got {retrain_epochs}")
+        self.retrain_epochs = int(retrain_epochs)
+        self.learning_rate = float(learning_rate)
+        self.retraining_report: RetrainingReport | None = None
+
+    def fit(
+        self, graphs: Sequence[Graph], labels: Sequence[Hashable]
+    ) -> "RetrainedGraphHDClassifier":
+        graphs = list(graphs)
+        labels = list(labels)
+        super().fit(graphs, labels)
+        encodings = self.encoder.encode_many(graphs)
+        self.retraining_report = self.classifier.retrain(
+            encodings,
+            labels,
+            epochs=self.retrain_epochs,
+            learning_rate=self.learning_rate,
+        )
+        return self
+
+
+class MultiCentroidGraphHDClassifier:
+    """GraphHD with multiple class vectors per class (future-work direction 1).
+
+    The training encodings of each class are partitioned into
+    ``centroids_per_class`` groups with a small k-means-style refinement in
+    hypervector space (cosine similarity); each group is bundled into its own
+    sub-centroid.  Prediction returns the class owning the most similar
+    sub-centroid, which lets one class cover several structural modes.
+    """
+
+    def __init__(
+        self,
+        config: GraphHDConfig | None = None,
+        *,
+        centroids_per_class: int = 2,
+        metric: str = "cosine",
+        refinement_rounds: int = 5,
+        seed: int | None = 0,
+    ) -> None:
+        if centroids_per_class < 1:
+            raise ValueError(
+                f"centroids_per_class must be positive, got {centroids_per_class}"
+            )
+        self.config = config or GraphHDConfig()
+        self.centroids_per_class = int(centroids_per_class)
+        self.metric = metric
+        self.refinement_rounds = int(refinement_rounds)
+        self.seed = seed
+        self.encoder = GraphHDEncoder(self.config)
+        self._centroids: np.ndarray | None = None
+        self._centroid_classes: list[Hashable] = []
+
+    @property
+    def classes(self) -> list[Hashable]:
+        """Distinct class labels seen during fit."""
+        seen: list[Hashable] = []
+        for label in self._centroid_classes:
+            if label not in seen:
+                seen.append(label)
+        return seen
+
+    def _cluster_class(
+        self, encodings: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Split one class's encodings into sub-centroid accumulators."""
+        count = encodings.shape[0]
+        clusters = min(self.centroids_per_class, count)
+        if clusters <= 1:
+            return [encodings.astype(np.int64).sum(axis=0)]
+
+        # Initialize assignments round-robin, then refine by nearest centroid.
+        assignment = np.arange(count) % clusters
+        rng.shuffle(assignment)
+        for _ in range(self.refinement_rounds):
+            accumulators = np.stack(
+                [
+                    encodings[assignment == cluster].astype(np.int64).sum(axis=0)
+                    if np.any(assignment == cluster)
+                    else np.zeros(encodings.shape[1], dtype=np.int64)
+                    for cluster in range(clusters)
+                ]
+            )
+            scores = similarity_matrix(encodings, accumulators, metric=self.metric)
+            new_assignment = scores.argmax(axis=1)
+            if np.array_equal(new_assignment, assignment):
+                break
+            assignment = new_assignment
+        return [
+            encodings[assignment == cluster].astype(np.int64).sum(axis=0)
+            for cluster in range(clusters)
+            if np.any(assignment == cluster)
+        ]
+
+    def fit(
+        self, graphs: Sequence[Graph], labels: Sequence[Hashable]
+    ) -> "MultiCentroidGraphHDClassifier":
+        """Encode the training graphs and build per-class sub-centroids."""
+        graphs = list(graphs)
+        labels = list(labels)
+        if len(graphs) != len(labels):
+            raise ValueError("graphs and labels must have the same length")
+        if not graphs:
+            raise ValueError("cannot fit on an empty training set")
+        rng = np.random.default_rng(self.seed)
+        encodings = self.encoder.encode_many(graphs)
+        label_array = np.asarray(labels, dtype=object)
+
+        centroids: list[np.ndarray] = []
+        centroid_classes: list[Hashable] = []
+        for label in dict.fromkeys(labels):
+            class_encodings = encodings[label_array == label]
+            for accumulator in self._cluster_class(class_encodings, rng):
+                centroids.append(accumulator)
+                centroid_classes.append(label)
+        self._centroids = np.stack(centroids)
+        self._centroid_classes = centroid_classes
+        return self
+
+    def predict(self, graphs: Sequence[Graph]) -> list[Hashable]:
+        """Predict the class owning the most similar sub-centroid."""
+        if self._centroids is None:
+            raise RuntimeError("classifier has not been fitted")
+        graphs = list(graphs)
+        if not graphs:
+            return []
+        encodings = self.encoder.encode_many(graphs)
+        scores = similarity_matrix(encodings, self._centroids, metric=self.metric)
+        winners = scores.argmax(axis=1)
+        return [self._centroid_classes[int(index)] for index in winners]
+
+    def score(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> float:
+        """Classification accuracy on labelled graphs."""
+        labels = list(labels)
+        if not labels:
+            raise ValueError("cannot score an empty set of graphs")
+        predictions = self.predict(graphs)
+        correct = sum(
+            1 for predicted, actual in zip(predictions, labels) if predicted == actual
+        )
+        return correct / len(labels)
+
+
+class LabelAwareGraphHDEncoder(GraphHDEncoder):
+    """GraphHD encoder that also uses vertex and edge labels (future work 2).
+
+    Structural edge hypervectors are additionally bound with a hypervector for
+    the *unordered pair* of endpoint vertex labels (and, when present, with a
+    hypervector for the edge's own label).  Binding the endpoint labels
+    individually would not work: binding is its own inverse, so two identical
+    endpoint labels would cancel out of the edge hypervector and a uniformly
+    relabelled graph would encode exactly like the unlabelled one.  Using the
+    label *pair* keeps the label information for homogeneous and heterogeneous
+    edges alike.  Graphs without labels degrade gracefully to the structural
+    encoding.
+    """
+
+    def __init__(self, config: GraphHDConfig | None = None) -> None:
+        super().__init__(config)
+        label_seed = None if self.config.seed is None else self.config.seed + 101
+        edge_label_seed = None if self.config.seed is None else self.config.seed + 202
+        self._vertex_label_pair_memory = ItemMemory(
+            self.config.dimension, seed=label_seed
+        )
+        self._edge_label_memory = ItemMemory(self.config.dimension, seed=edge_label_seed)
+
+    def _edge_accumulator(
+        self, graph: Graph, vertex_hypervectors: np.ndarray
+    ) -> np.ndarray:
+        # Label binding is inherently per-edge, so the label-aware encoder
+        # falls back to summing explicit edge hypervectors.  Unlabelled graphs
+        # keep the fast sparse-matrix path of the base encoder.
+        if graph.vertex_labels is None and graph.edge_labels is None:
+            return super()._edge_accumulator(graph, vertex_hypervectors)
+        edge_hypervectors = self.encode_edges(graph, vertex_hypervectors)
+        if edge_hypervectors.shape[0] == 0:
+            return np.zeros(self.config.dimension, dtype=np.int64)
+        return edge_hypervectors.astype(np.int64).sum(axis=0)
+
+    def encode_edges(
+        self, graph: Graph, vertex_hypervectors: np.ndarray | None = None
+    ) -> np.ndarray:
+        edge_hypervectors = super().encode_edges(graph, vertex_hypervectors)
+        if edge_hypervectors.shape[0] == 0:
+            return edge_hypervectors
+        edges = graph.edges()
+        combined = edge_hypervectors.astype(np.int16)
+
+        if graph.vertex_labels is not None:
+            pair_keys = []
+            for u, v in edges:
+                label_u = graph.vertex_labels[u]
+                label_v = graph.vertex_labels[v]
+                low, high = sorted((str(label_u), str(label_v)))
+                pair_keys.append((low, high))
+            pair_hypervectors = self._vertex_label_pair_memory.get_many(pair_keys)
+            combined = combined * pair_hypervectors.astype(np.int16)
+
+        if graph.edge_labels is not None:
+            labels = [graph.edge_labels.get(edge) for edge in edges]
+            if all(label is not None for label in labels):
+                label_hypervectors = self._edge_label_memory.get_many(labels)
+                combined = combined * label_hypervectors.astype(np.int16)
+
+        return combined.astype(HV_DTYPE)

@@ -1,0 +1,91 @@
+"""The :class:`GraphDataset` container used throughout the library."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import GraphStatistics, dataset_statistics
+
+
+class GraphDataset:
+    """An ordered collection of graphs with classification labels.
+
+    The labels are read from each graph's ``graph_label`` attribute; every
+    graph in a dataset must be labelled.
+    """
+
+    def __init__(self, name: str, graphs: Sequence[Graph]) -> None:
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("a dataset must contain at least one graph")
+        for index, graph in enumerate(graphs):
+            if graph.graph_label is None:
+                raise ValueError(f"graph at index {index} has no graph_label")
+        self.name = name
+        self.graphs = graphs
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self.graphs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return GraphDataset(self.name, self.graphs[index])
+        return self.graphs[index]
+
+    @property
+    def labels(self) -> list[Hashable]:
+        """Class label of each graph, in dataset order."""
+        return [graph.graph_label for graph in self.graphs]
+
+    @property
+    def classes(self) -> list[Hashable]:
+        """Distinct class labels, sorted when possible."""
+        distinct = set(self.labels)
+        try:
+            return sorted(distinct)
+        except TypeError:
+            return list(distinct)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct class labels."""
+        return len(self.classes)
+
+    def class_counts(self) -> dict[Hashable, int]:
+        """Number of graphs per class label."""
+        counts: dict[Hashable, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def subset(self, indices: Iterable[int]) -> "GraphDataset":
+        """Dataset restricted to the graphs at ``indices`` (in the given order)."""
+        indices = list(indices)
+        if not indices:
+            raise ValueError("cannot create an empty subset")
+        return GraphDataset(self.name, [self.graphs[index] for index in indices])
+
+    def statistics(self) -> GraphStatistics:
+        """Table I statistics of this dataset."""
+        return dataset_statistics(self.name, self.graphs)
+
+    def shuffled(self, rng: int | np.random.Generator | None = None) -> "GraphDataset":
+        """A copy of the dataset with graphs in a random order."""
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        order = generator.permutation(len(self.graphs))
+        return GraphDataset(self.name, [self.graphs[index] for index in order])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GraphDataset(name={self.name!r}, graphs={len(self.graphs)}, "
+            f"classes={self.num_classes})"
+        )

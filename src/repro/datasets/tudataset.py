@@ -1,0 +1,177 @@
+"""Reader and writer for the TUDataset text format.
+
+The TUDataset collection (Morris et al., 2020) distributes every dataset as a
+set of plain-text files sharing a prefix ``DS``:
+
+* ``DS_A.txt`` — sparse adjacency list, one ``row, col`` pair per line,
+  1-based global vertex indices;
+* ``DS_graph_indicator.txt`` — line ``i`` holds the (1-based) graph id of
+  global vertex ``i``;
+* ``DS_graph_labels.txt`` — line ``g`` holds the class label of graph ``g``;
+* ``DS_node_labels.txt`` — optional, line ``i`` holds the label of vertex ``i``;
+* ``DS_edge_labels.txt`` — optional, line ``k`` holds the label of the ``k``-th
+  adjacency entry.
+
+This module parses that format into a :class:`~repro.datasets.dataset.GraphDataset`
+and can also write one out, which is how the synthetic benchmark datasets can
+be exported for use with other tools (and how the round-trip is tested).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.datasets.dataset import GraphDataset
+from repro.graphs.graph import Graph
+
+
+def _read_lines(path: str) -> list[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+def load_tudataset(directory: str, name: str | None = None) -> GraphDataset:
+    """Load a dataset stored in TUDataset format from ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Directory containing the ``<name>_A.txt`` etc. files.
+    name:
+        Dataset prefix.  Defaults to the directory's base name, which is the
+        layout used by the official TUDataset archives.
+    """
+    if name is None:
+        name = os.path.basename(os.path.normpath(directory))
+    prefix = os.path.join(directory, name)
+
+    adjacency_path = f"{prefix}_A.txt"
+    indicator_path = f"{prefix}_graph_indicator.txt"
+    graph_labels_path = f"{prefix}_graph_labels.txt"
+    node_labels_path = f"{prefix}_node_labels.txt"
+    edge_labels_path = f"{prefix}_edge_labels.txt"
+
+    for required in (adjacency_path, indicator_path, graph_labels_path):
+        if not os.path.exists(required):
+            raise FileNotFoundError(f"missing TUDataset file: {required}")
+
+    graph_of_vertex = [int(line) for line in _read_lines(indicator_path)]
+    graph_labels = [int(line) for line in _read_lines(graph_labels_path)]
+    num_graphs = len(graph_labels)
+    if max(graph_of_vertex, default=0) > num_graphs:
+        raise ValueError("graph indicator references a graph with no label")
+
+    # Global vertex index -> (graph index, local vertex index).
+    vertices_per_graph: list[int] = [0] * num_graphs
+    local_index: list[tuple[int, int]] = []
+    for graph_id in graph_of_vertex:
+        graph_index = graph_id - 1
+        local_index.append((graph_index, vertices_per_graph[graph_index]))
+        vertices_per_graph[graph_index] += 1
+
+    node_labels = None
+    if os.path.exists(node_labels_path):
+        node_labels = [int(line) for line in _read_lines(node_labels_path)]
+        if len(node_labels) != len(graph_of_vertex):
+            raise ValueError("node label count does not match vertex count")
+
+    adjacency_lines = _read_lines(adjacency_path)
+    edge_labels = None
+    if os.path.exists(edge_labels_path):
+        edge_labels = [int(line) for line in _read_lines(edge_labels_path)]
+        if len(edge_labels) != len(adjacency_lines):
+            raise ValueError("edge label count does not match adjacency entry count")
+
+    per_graph_edges: list[list[tuple[int, int]]] = [[] for _ in range(num_graphs)]
+    per_graph_edge_labels: list[dict[tuple[int, int], int]] = [
+        {} for _ in range(num_graphs)
+    ]
+    for entry_index, line in enumerate(adjacency_lines):
+        row_text, col_text = line.replace(",", " ").split()
+        source = int(row_text) - 1
+        target = int(col_text) - 1
+        source_graph, source_local = local_index[source]
+        target_graph, target_local = local_index[target]
+        if source_graph != target_graph:
+            raise ValueError(
+                f"adjacency entry {entry_index + 1} connects different graphs"
+            )
+        edge = (min(source_local, target_local), max(source_local, target_local))
+        per_graph_edges[source_graph].append(edge)
+        if edge_labels is not None:
+            per_graph_edge_labels[source_graph][edge] = edge_labels[entry_index]
+
+    graphs = []
+    for graph_index in range(num_graphs):
+        num_vertices = vertices_per_graph[graph_index]
+        vertex_labels = None
+        if node_labels is not None:
+            vertex_labels = [
+                node_labels[global_index]
+                for global_index, (owner, _) in enumerate(local_index)
+                if owner == graph_index
+            ]
+        graphs.append(
+            Graph(
+                num_vertices,
+                per_graph_edges[graph_index],
+                vertex_labels=vertex_labels,
+                edge_labels=per_graph_edge_labels[graph_index]
+                if edge_labels is not None
+                else None,
+                graph_label=graph_labels[graph_index],
+            )
+        )
+    return GraphDataset(name, graphs)
+
+
+def save_tudataset(dataset: GraphDataset, directory: str, name: str | None = None) -> str:
+    """Write ``dataset`` to ``directory`` in TUDataset format.
+
+    Returns the dataset prefix path.  Vertex and edge labels are written only
+    when every graph in the dataset carries them.
+    """
+    if name is None:
+        name = dataset.name
+    os.makedirs(directory, exist_ok=True)
+    prefix = os.path.join(directory, name)
+
+    adjacency_lines: list[str] = []
+    indicator_lines: list[str] = []
+    graph_label_lines: list[str] = []
+    node_label_lines: list[str] = []
+    edge_label_lines: list[str] = []
+
+    all_have_vertex_labels = all(graph.vertex_labels is not None for graph in dataset)
+    all_have_edge_labels = all(graph.edge_labels is not None for graph in dataset)
+
+    global_offset = 0
+    for graph_number, graph in enumerate(dataset, start=1):
+        for vertex in range(graph.num_vertices):
+            indicator_lines.append(str(graph_number))
+            if all_have_vertex_labels:
+                node_label_lines.append(str(graph.vertex_labels[vertex]))
+        for u, v in graph.edges():
+            # TUDataset stores both directions of every undirected edge.
+            for source, target in ((u, v), (v, u)):
+                adjacency_lines.append(
+                    f"{global_offset + source + 1}, {global_offset + target + 1}"
+                )
+                if all_have_edge_labels:
+                    edge_label_lines.append(str(graph.edge_labels[(u, v)]))
+        graph_label_lines.append(str(graph.graph_label))
+        global_offset += graph.num_vertices
+
+    def _write(path: str, lines: Sequence[str]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    _write(f"{prefix}_A.txt", adjacency_lines)
+    _write(f"{prefix}_graph_indicator.txt", indicator_lines)
+    _write(f"{prefix}_graph_labels.txt", graph_label_lines)
+    if all_have_vertex_labels:
+        _write(f"{prefix}_node_labels.txt", node_label_lines)
+    if all_have_edge_labels:
+        _write(f"{prefix}_edge_labels.txt", edge_label_lines)
+    return prefix

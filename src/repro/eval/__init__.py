@@ -1,0 +1,51 @@
+"""Evaluation harness: metrics, cross-validation, method comparison, scaling.
+
+This subpackage implements the paper's experimental protocol:
+
+* :mod:`repro.eval.metrics` — accuracy, confusion matrix, per-class metrics;
+* :mod:`repro.eval.cross_validation` — 10-fold cross-validation with per-fold
+  training and inference wall-time measurement, repeated 3 times (Section V-A);
+* :mod:`repro.eval.methods` — a uniform factory for the five compared methods
+  (GraphHD, 1-WL, WL-OA, GIN-eps, GIN-eps-JK);
+* :mod:`repro.eval.comparison` — the multi-dataset, multi-method comparison
+  that produces the three panels of Figure 3;
+* :mod:`repro.eval.scaling` — the Erdős–Rényi graph-size sweep of Figure 4;
+* :mod:`repro.eval.robustness` — accuracy under corrupted model memory (the
+  paper's holographic-robustness claim, quantified);
+* :mod:`repro.eval.reporting` — plain-text rendering of tables and series.
+"""
+
+from repro.eval.metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
+from repro.eval.methods import METHOD_NAMES, make_method
+from repro.eval.comparison import ComparisonResult, compare_methods
+from repro.eval.scaling import ScalingPoint, scaling_experiment
+from repro.eval.robustness import (
+    RobustnessCurve,
+    RobustnessPoint,
+    gnn_robustness_curve,
+    graphhd_robustness_curve,
+)
+from repro.eval.reporting import render_figure3, render_series, render_table
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "FoldResult",
+    "CrossValidationResult",
+    "cross_validate",
+    "METHOD_NAMES",
+    "make_method",
+    "ComparisonResult",
+    "compare_methods",
+    "ScalingPoint",
+    "scaling_experiment",
+    "RobustnessCurve",
+    "RobustnessPoint",
+    "graphhd_robustness_curve",
+    "gnn_robustness_curve",
+    "render_table",
+    "render_series",
+    "render_figure3",
+]

@@ -1,0 +1,124 @@
+"""Multi-method, multi-dataset comparison (the three panels of Figure 3).
+
+The comparison runner evaluates each requested method on each requested
+dataset with the repeated K-fold protocol and collects accuracy, per-fold
+training time and per-graph inference time — exactly the three quantities
+plotted in Figure 3 of the paper.  Speed-up summaries (the headline
+"14.6x faster training, 2.0x faster inference" claim) are derived from the
+same results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import GraphDataset
+from repro.eval.cross_validation import CrossValidationResult, cross_validate
+from repro.eval.methods import METHOD_NAMES, make_method
+
+
+@dataclass
+class ComparisonResult:
+    """Results of the full comparison, indexed by (dataset, method)."""
+
+    results: dict[tuple[str, str], CrossValidationResult] = field(default_factory=dict)
+
+    def datasets(self) -> list[str]:
+        """Dataset names present in the results, in insertion order."""
+        seen: list[str] = []
+        for dataset, _ in self.results:
+            if dataset not in seen:
+                seen.append(dataset)
+        return seen
+
+    def methods(self) -> list[str]:
+        """Method names present in the results, in insertion order."""
+        seen: list[str] = []
+        for _, method in self.results:
+            if method not in seen:
+                seen.append(method)
+        return seen
+
+    def get(self, dataset: str, method: str) -> CrossValidationResult:
+        """Result of one (dataset, method) pair."""
+        return self.results[(dataset, method)]
+
+    # ------------------------------------------------------- figure 3 panels
+    def accuracy_table(self) -> dict[str, dict[str, float]]:
+        """Figure 3 (left): dataset -> method -> mean accuracy."""
+        return self._panel("accuracy_mean")
+
+    def training_time_table(self) -> dict[str, dict[str, float]]:
+        """Figure 3 (middle): dataset -> method -> training seconds per fold."""
+        return self._panel("train_seconds")
+
+    def inference_time_table(self) -> dict[str, dict[str, float]]:
+        """Figure 3 (right): dataset -> method -> inference seconds per graph."""
+        return self._panel("inference_seconds_per_graph")
+
+    def _panel(self, key: str) -> dict[str, dict[str, float]]:
+        panel: dict[str, dict[str, float]] = {}
+        for (dataset, method), result in self.results.items():
+            panel.setdefault(dataset, {})[method] = result.summary()[key]
+        return panel
+
+    # ------------------------------------------------------------- speed-ups
+    def speedup_over(self, reference_methods: Sequence[str], *, metric: str = "train") -> dict[str, float]:
+        """GraphHD speed-up versus the given methods, averaged over datasets.
+
+        ``metric`` is ``"train"`` (training time per fold) or ``"inference"``
+        (inference time per graph).  The returned dict maps each reference
+        method to the geometric-mean ratio ``reference_time / graphhd_time``.
+        """
+        if metric == "train":
+            table = self.training_time_table()
+        elif metric == "inference":
+            table = self.inference_time_table()
+        else:
+            raise ValueError(f"metric must be 'train' or 'inference', got {metric!r}")
+        speedups: dict[str, float] = {}
+        for reference in reference_methods:
+            ratios = []
+            for dataset, row in table.items():
+                if "GraphHD" not in row or reference not in row:
+                    continue
+                graphhd_time = row["GraphHD"]
+                if graphhd_time <= 0:
+                    continue
+                ratios.append(row[reference] / graphhd_time)
+            if ratios:
+                speedups[reference] = float(np.exp(np.mean(np.log(ratios))))
+        return speedups
+
+
+def compare_methods(
+    datasets: Sequence[GraphDataset],
+    *,
+    methods: Sequence[str] = METHOD_NAMES,
+    fast: bool = False,
+    n_splits: int = 10,
+    repetitions: int = 3,
+    max_folds_per_repetition: int | None = None,
+    seed: int | None = 0,
+    dimension: int = 10_000,
+) -> ComparisonResult:
+    """Run the Figure 3 comparison over the given datasets and methods."""
+    comparison = ComparisonResult()
+    for dataset in datasets:
+        for method_name in methods:
+            result = cross_validate(
+                lambda name=method_name: make_method(
+                    name, fast=fast, seed=seed, dimension=dimension
+                ),
+                dataset,
+                method_name=method_name,
+                n_splits=n_splits,
+                repetitions=repetitions,
+                max_folds_per_repetition=max_folds_per_repetition,
+                seed=seed,
+            )
+            comparison.results[(dataset.name, method_name)] = result
+    return comparison

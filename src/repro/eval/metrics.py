@@ -1,0 +1,81 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def accuracy_score(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """Fraction of predictions that match the true label."""
+    true_labels = list(true_labels)
+    predicted_labels = list(predicted_labels)
+    if len(true_labels) != len(predicted_labels):
+        raise ValueError(
+            f"length mismatch: {len(true_labels)} true vs {len(predicted_labels)} predicted"
+        )
+    if not true_labels:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    correct = sum(
+        1 for actual, predicted in zip(true_labels, predicted_labels) if actual == predicted
+    )
+    return correct / len(true_labels)
+
+
+def confusion_matrix(
+    true_labels: Sequence[Hashable],
+    predicted_labels: Sequence[Hashable],
+    *,
+    classes: Sequence[Hashable] | None = None,
+) -> tuple[np.ndarray, list[Hashable]]:
+    """Confusion matrix with rows = true class, columns = predicted class.
+
+    Returns the matrix and the class order.  Classes are taken from the union
+    of true and predicted labels when not given explicitly.
+    """
+    true_labels = list(true_labels)
+    predicted_labels = list(predicted_labels)
+    if len(true_labels) != len(predicted_labels):
+        raise ValueError("true and predicted label sequences differ in length")
+    if classes is None:
+        distinct = set(true_labels) | set(predicted_labels)
+        try:
+            classes = sorted(distinct)
+        except TypeError:
+            classes = list(distinct)
+    classes = list(classes)
+    index_of = {label: index for index, label in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for actual, predicted in zip(true_labels, predicted_labels):
+        matrix[index_of[actual], index_of[predicted]] += 1
+    return matrix, classes
+
+
+def per_class_accuracy(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> dict[Hashable, float]:
+    """Recall of each class (diagonal of the row-normalized confusion matrix)."""
+    matrix, classes = confusion_matrix(true_labels, predicted_labels)
+    results: dict[Hashable, float] = {}
+    for index, label in enumerate(classes):
+        row_total = matrix[index].sum()
+        results[label] = float(matrix[index, index] / row_total) if row_total else 0.0
+    return results
+
+
+def macro_f1_score(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix, classes = confusion_matrix(true_labels, predicted_labels)
+    f1_scores = []
+    for index in range(len(classes)):
+        true_positive = matrix[index, index]
+        false_positive = matrix[:, index].sum() - true_positive
+        false_negative = matrix[index].sum() - true_positive
+        denominator = 2 * true_positive + false_positive + false_negative
+        f1_scores.append(2 * true_positive / denominator if denominator else 0.0)
+    return float(np.mean(f1_scores))

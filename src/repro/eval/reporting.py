@@ -1,0 +1,116 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers format them as aligned text tables so the output of
+``pytest benchmarks/ --benchmark-only`` is directly readable next to the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    headers = [str(header) for header in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".") if "." in f"{cell:.4f}" else f"{cell:.4f}"
+    return str(cell)
+
+
+def render_panel(
+    panel: Mapping[str, Mapping[str, float]],
+    *,
+    title: str,
+    value_name: str = "value",
+) -> str:
+    """Render a dataset -> method -> value mapping as a table.
+
+    Datasets become rows, methods become columns — the layout of each panel of
+    Figure 3.
+    """
+    datasets = list(panel)
+    methods: list[str] = []
+    for row in panel.values():
+        for method in row:
+            if method not in methods:
+                methods.append(method)
+    headers = ["dataset"] + methods
+    rows = []
+    for dataset in datasets:
+        row = [dataset]
+        for method in methods:
+            value = panel[dataset].get(method)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=f"{title} ({value_name})")
+
+
+def render_series(
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_name: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one or more named series over a shared x axis as a table."""
+    headers = [x_name] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row = [x_value]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_figure3(comparison) -> str:
+    """Render all three Figure 3 panels from a ComparisonResult."""
+    parts = [
+        render_panel(
+            comparison.accuracy_table(),
+            title="Figure 3 (left): accuracy",
+            value_name="mean accuracy",
+        ),
+        render_panel(
+            comparison.training_time_table(),
+            title="Figure 3 (middle): training time",
+            value_name="seconds per fold",
+        ),
+        render_panel(
+            comparison.inference_time_table(),
+            title="Figure 3 (right): inference time",
+            value_name="seconds per graph",
+        ),
+    ]
+    return "\n\n".join(parts)

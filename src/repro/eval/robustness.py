@@ -1,0 +1,190 @@
+"""Robustness evaluation: accuracy under corrupted model memory.
+
+The paper argues (Sections I and II) that HDC models are *inherently robust*:
+information is stored holographically, so every hypervector component carries
+the same amount of information and the model degrades gracefully when
+components are corrupted — the property that makes HDC attractive for
+unreliable, low-power memory in IoT devices.  The paper states the claim
+qualitatively; this module quantifies it for GraphHD by flipping a growing
+fraction of the trained class-vector components and re-measuring accuracy,
+optionally comparing against the same corruption applied to a GNN baseline's
+weights (which is not holographic and degrades much faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import GraphHDClassifier
+from repro.eval.metrics import accuracy_score
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class RobustnessPoint:
+    """Accuracy at one corruption level."""
+
+    corruption_fraction: float
+    accuracy: float
+
+
+@dataclass
+class RobustnessCurve:
+    """Accuracy as a function of the fraction of corrupted components."""
+
+    model_name: str
+    points: list[RobustnessPoint] = field(default_factory=list)
+
+    @property
+    def fractions(self) -> list[float]:
+        return [point.corruption_fraction for point in self.points]
+
+    @property
+    def accuracies(self) -> list[float]:
+        return [point.accuracy for point in self.points]
+
+    def accuracy_at(self, fraction: float) -> float:
+        """Accuracy at the corruption level closest to ``fraction``."""
+        if not self.points:
+            raise ValueError("robustness curve is empty")
+        closest = min(
+            self.points, key=lambda point: abs(point.corruption_fraction - fraction)
+        )
+        return closest.accuracy
+
+    def degradation(self) -> float:
+        """Accuracy lost between the clean model and the most corrupted one."""
+        if not self.points:
+            raise ValueError("robustness curve is empty")
+        return self.points[0].accuracy - self.points[-1].accuracy
+
+
+def corrupt_class_vectors(
+    model: GraphHDClassifier,
+    fraction: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> None:
+    """Flip the sign of a random fraction of each class accumulator's components.
+
+    The corruption is applied in place; corrupt a fresh copy (or refit) to
+    evaluate multiple corruption levels independently.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    memory = model.classifier.memory
+    for label in memory.classes:
+        accumulator = memory._accumulators[label]
+        count = int(round(len(accumulator) * fraction))
+        if count == 0:
+            continue
+        positions = generator.choice(len(accumulator), size=count, replace=False)
+        accumulator[positions] = -accumulator[positions]
+
+
+def graphhd_robustness_curve(
+    model_factory,
+    train_graphs: Sequence[Graph],
+    train_labels: Sequence,
+    test_graphs: Sequence[Graph],
+    test_labels: Sequence,
+    *,
+    corruption_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    repetitions: int = 3,
+    seed: int | None = 0,
+) -> RobustnessCurve:
+    """Measure GraphHD accuracy while corrupting its class hypervectors.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh :class:`GraphHDClassifier`.
+    corruption_fractions:
+        Fractions of class-vector components whose sign is flipped.
+    repetitions:
+        Number of independent corruption draws averaged per fraction (the
+        clean point is measured once).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    fractions = sorted(set(float(fraction) for fraction in corruption_fractions))
+    curve = RobustnessCurve(model_name="GraphHD")
+    rng = np.random.default_rng(seed)
+    for fraction in fractions:
+        accuracies = []
+        draws = 1 if fraction == 0.0 else repetitions
+        for _ in range(draws):
+            model = model_factory()
+            model.fit(list(train_graphs), list(train_labels))
+            corrupt_class_vectors(model, fraction, rng=rng)
+            predictions = model.predict(list(test_graphs))
+            accuracies.append(accuracy_score(list(test_labels), predictions))
+        curve.points.append(
+            RobustnessPoint(
+                corruption_fraction=fraction, accuracy=float(np.mean(accuracies))
+            )
+        )
+    return curve
+
+
+def corrupt_gnn_weights(trainer, fraction: float, *, rng=None) -> None:
+    """Flip the sign of a random fraction of every GNN parameter tensor.
+
+    Mirrors :func:`corrupt_class_vectors` for the GNN baseline so the two
+    robustness curves are comparable: the same fraction of stored model
+    components is corrupted in both cases.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if trainer.model is None:
+        raise RuntimeError("trainer has not been fitted")
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    for parameter in trainer.model.parameters():
+        flat = parameter.data.reshape(-1)
+        count = int(round(flat.size * fraction))
+        if count == 0:
+            continue
+        positions = generator.choice(flat.size, size=count, replace=False)
+        flat[positions] = -flat[positions]
+
+
+def gnn_robustness_curve(
+    trainer_factory,
+    train_graphs: Sequence[Graph],
+    train_labels: Sequence,
+    test_graphs: Sequence[Graph],
+    test_labels: Sequence,
+    *,
+    corruption_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    repetitions: int = 3,
+    seed: int | None = 0,
+) -> RobustnessCurve:
+    """Measure GNN accuracy while sign-flipping a fraction of its weights."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    fractions = sorted(set(float(fraction) for fraction in corruption_fractions))
+    curve = RobustnessCurve(model_name="GIN-e")
+    rng = np.random.default_rng(seed)
+    for fraction in fractions:
+        accuracies = []
+        draws = 1 if fraction == 0.0 else repetitions
+        for _ in range(draws):
+            trainer = trainer_factory()
+            trainer.fit(list(train_graphs), list(train_labels))
+            corrupt_gnn_weights(trainer, fraction, rng=rng)
+            predictions = trainer.predict(list(test_graphs))
+            accuracies.append(accuracy_score(list(test_labels), predictions))
+        curve.points.append(
+            RobustnessPoint(
+                corruption_fraction=fraction, accuracy=float(np.mean(accuracies))
+            )
+        )
+    return curve

@@ -1,0 +1,53 @@
+"""Graph substrate: data structure, generators, centrality, WL refinement.
+
+GraphHD and all the baselines operate on undirected graphs whose vertices may
+carry categorical labels.  This subpackage provides:
+
+* :mod:`repro.graphs.graph` — a lightweight :class:`Graph` class optimized for
+  the small, sparse graphs of the TUDataset benchmarks.
+* :mod:`repro.graphs.generators` — random graph generators (Erdős–Rényi,
+  planted partition, motif-decorated graphs) used for the scaling experiment
+  (Figure 4) and the synthetic benchmark datasets.
+* :mod:`repro.graphs.centrality` — PageRank (the identifier GraphHD uses),
+  degree and eigenvector centralities.
+* :mod:`repro.graphs.wl_refinement` — Weisfeiler–Leman colour refinement used
+  by the 1-WL and WL-OA kernel baselines.
+* :mod:`repro.graphs.properties` — dataset/graph statistics (Table I).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    planted_partition_graph,
+    ring_of_cliques_graph,
+    watts_strogatz_graph,
+    barabasi_albert_graph,
+)
+from repro.graphs.centrality import (
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank,
+    pagerank_matrix,
+    centrality_ranks,
+)
+from repro.graphs.wl_refinement import wl_refinement, wl_subtree_features
+from repro.graphs.properties import GraphStatistics, dataset_statistics, graph_density
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "planted_partition_graph",
+    "ring_of_cliques_graph",
+    "watts_strogatz_graph",
+    "barabasi_albert_graph",
+    "pagerank",
+    "pagerank_matrix",
+    "degree_centrality",
+    "eigenvector_centrality",
+    "centrality_ranks",
+    "wl_refinement",
+    "wl_subtree_features",
+    "GraphStatistics",
+    "dataset_statistics",
+    "graph_density",
+]

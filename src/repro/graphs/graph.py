@@ -1,0 +1,285 @@
+"""A lightweight undirected graph data structure.
+
+The TUDataset benchmarks consist of many small, sparse graphs (tens to a few
+hundred vertices).  A dedicated class keeps the hot paths (edge iteration,
+adjacency access, sparse-matrix construction) simple and fast without pulling
+in a heavyweight dependency for the inner loops.  Conversion helpers to and
+from :mod:`networkx` are provided for interoperability and for reusing its
+generators in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+class Graph:
+    """An undirected graph with optional vertex and edge labels.
+
+    Vertices are integers ``0..n-1``.  Self-loops are allowed but not created
+    by the dataset generators; parallel edges are collapsed.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices in the graph.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Each undirected edge should appear once
+        (either orientation); duplicates and reversed duplicates are ignored.
+    vertex_labels:
+        Optional sequence of hashable vertex labels, one per vertex.
+    edge_labels:
+        Optional mapping from the canonical edge ``(min(u, v), max(u, v))`` to
+        a hashable label.
+    graph_label:
+        Optional class label of the whole graph (used for classification).
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "_edges",
+        "_adjacency",
+        "vertex_labels",
+        "edge_labels",
+        "graph_label",
+        "_adjacency_matrix_cache",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]] = (),
+        *,
+        vertex_labels: Sequence[Hashable] | None = None,
+        edge_labels: Mapping[tuple[int, int], Hashable] | None = None,
+        graph_label: Hashable | None = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be non-negative, got {num_vertices}")
+        self.num_vertices = int(num_vertices)
+        self._adjacency: list[set[int]] = [set() for _ in range(self.num_vertices)]
+        self._edges: set[tuple[int, int]] = set()
+        for u, v in edges:
+            self.add_edge(int(u), int(v))
+
+        if vertex_labels is not None:
+            vertex_labels = list(vertex_labels)
+            if len(vertex_labels) != self.num_vertices:
+                raise ValueError(
+                    f"expected {self.num_vertices} vertex labels, got {len(vertex_labels)}"
+                )
+        self.vertex_labels: list[Hashable] | None = vertex_labels
+
+        if edge_labels is not None:
+            normalized = {}
+            for (u, v), label in edge_labels.items():
+                normalized[self._canonical_edge(int(u), int(v))] = label
+            edge_labels = normalized
+        self.edge_labels: dict[tuple[int, int], Hashable] | None = edge_labels
+
+        self.graph_label = graph_label
+        self._adjacency_matrix_cache: sparse.csr_matrix | None = None
+
+    # --------------------------------------------------------------- mutation
+    @staticmethod
+    def _canonical_edge(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise IndexError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``(u, v)``; duplicates are ignored."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge = self._canonical_edge(u, v)
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._adjacency_matrix_cache = None
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as canonical ``(u, v)`` pairs with ``u <= v``, sorted."""
+        return sorted(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            return False
+        return self._canonical_edge(u, v) in self._edges
+
+    def neighbors(self, vertex: int) -> list[int]:
+        """Sorted neighbours of ``vertex``."""
+        self._check_vertex(vertex)
+        return sorted(self._adjacency[vertex])
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` (self-loops count once)."""
+        self._check_vertex(vertex)
+        return len(self._adjacency[vertex])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as an integer array."""
+        return np.array(
+            [len(adjacent) for adjacent in self._adjacency], dtype=np.int64
+        )
+
+    def vertices(self) -> range:
+        """Iterator over the vertex indices ``0..n-1``."""
+        return range(self.num_vertices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f", label={self.graph_label!r}" if self.graph_label is not None else ""
+        return (
+            f"Graph(num_vertices={self.num_vertices}, num_edges={self.num_edges}{label})"
+        )
+
+    # -------------------------------------------------------------- matrices
+    def adjacency_matrix(self) -> sparse.csr_matrix:
+        """Symmetric sparse adjacency matrix in CSR format (cached)."""
+        if self._adjacency_matrix_cache is None:
+            if not self._edges:
+                self._adjacency_matrix_cache = sparse.csr_matrix(
+                    (self.num_vertices, self.num_vertices), dtype=np.float64
+                )
+            else:
+                rows = []
+                cols = []
+                for u, v in self._edges:
+                    rows.append(u)
+                    cols.append(v)
+                    if u != v:
+                        rows.append(v)
+                        cols.append(u)
+                data = np.ones(len(rows), dtype=np.float64)
+                self._adjacency_matrix_cache = sparse.csr_matrix(
+                    (data, (rows, cols)),
+                    shape=(self.num_vertices, self.num_vertices),
+                )
+        return self._adjacency_matrix_cache
+
+    def vertex_label(self, vertex: int) -> Hashable:
+        """Label of ``vertex``; raises if the graph has no vertex labels."""
+        self._check_vertex(vertex)
+        if self.vertex_labels is None:
+            raise ValueError("graph has no vertex labels")
+        return self.vertex_labels[vertex]
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted vertex lists, largest-first order not guaranteed."""
+        seen = [False] * self.num_vertices
+        components: list[list[int]] = []
+        for start in range(self.num_vertices):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                vertex = stack.pop()
+                component.append(vertex)
+                for neighbor in self._adjacency[vertex]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        return components
+
+    # ------------------------------------------------------------ conversion
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph`, preserving labels as attributes."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self.num_vertices))
+        nx_graph.add_edges_from(self._edges)
+        if self.vertex_labels is not None:
+            for vertex, label in enumerate(self.vertex_labels):
+                nx_graph.nodes[vertex]["label"] = label
+        if self.edge_labels is not None:
+            for edge, label in self.edge_labels.items():
+                if nx_graph.has_edge(*edge):
+                    nx_graph.edges[edge]["label"] = label
+        if self.graph_label is not None:
+            nx_graph.graph["label"] = self.graph_label
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a :class:`networkx.Graph`.
+
+        Node identifiers are relabelled to ``0..n-1`` in sorted order when the
+        nodes are sortable, otherwise in insertion order.  A node attribute
+        called ``label`` becomes the vertex label; an edge attribute ``label``
+        becomes the edge label; a graph attribute ``label`` becomes the graph
+        label.
+        """
+        nodes = list(nx_graph.nodes())
+        try:
+            nodes = sorted(nodes)
+        except TypeError:
+            pass
+        index_of = {node: index for index, node in enumerate(nodes)}
+        edges = [(index_of[u], index_of[v]) for u, v in nx_graph.edges()]
+
+        vertex_labels = None
+        if all("label" in nx_graph.nodes[node] for node in nodes) and nodes:
+            vertex_labels = [nx_graph.nodes[node]["label"] for node in nodes]
+
+        edge_labels = None
+        labelled_edges = {
+            (index_of[u], index_of[v]): data["label"]
+            for u, v, data in nx_graph.edges(data=True)
+            if "label" in data
+        }
+        if labelled_edges and len(labelled_edges) == len(edges):
+            edge_labels = labelled_edges
+
+        return cls(
+            len(nodes),
+            edges,
+            vertex_labels=vertex_labels,
+            edge_labels=edge_labels,
+            graph_label=nx_graph.graph.get("label"),
+        )
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph (labels are shallow-copied)."""
+        return Graph(
+            self.num_vertices,
+            self._edges,
+            vertex_labels=list(self.vertex_labels) if self.vertex_labels else None,
+            edge_labels=dict(self.edge_labels) if self.edge_labels else None,
+            graph_label=self.graph_label,
+        )
+
+    def relabel(self, vertex_labels: Sequence[Hashable]) -> "Graph":
+        """Return a copy of the graph with new vertex labels."""
+        copy = self.copy()
+        vertex_labels = list(vertex_labels)
+        if len(vertex_labels) != self.num_vertices:
+            raise ValueError(
+                f"expected {self.num_vertices} vertex labels, got {len(vertex_labels)}"
+            )
+        copy.vertex_labels = vertex_labels
+        return copy

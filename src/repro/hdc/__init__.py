@@ -1,0 +1,61 @@
+"""Hyperdimensional computing (HDC) substrate.
+
+This subpackage implements the HDC machinery that GraphHD builds on:
+
+* :mod:`repro.hdc.hypervector` — creation of random bipolar/binary hypervectors.
+* :mod:`repro.hdc.operations` — the three fundamental HDC operations
+  (bundling/addition, binding/multiplication, permutation) and similarity metrics.
+* :mod:`repro.hdc.item_memory` — basis-hypervector stores (random, level, circular).
+* :mod:`repro.hdc.encoders` — generic encoders (record-based, n-gram, sequence).
+* :mod:`repro.hdc.associative_memory` — class-vector memory used for inference.
+* :mod:`repro.hdc.classifier` — a generic centroid HDC classifier with optional
+  retraining and online learning.
+"""
+
+from repro.hdc.hypervector import (
+    DEFAULT_DIMENSION,
+    random_binary,
+    random_bipolar,
+    random_hypervectors,
+    to_binary,
+    to_bipolar,
+)
+from repro.hdc.operations import (
+    bind,
+    bundle,
+    cosine_similarity,
+    hamming_similarity,
+    dot_similarity,
+    normalize_hard,
+    permute,
+    similarity,
+)
+from repro.hdc.item_memory import CircularItemMemory, ItemMemory, LevelItemMemory
+from repro.hdc.encoders import NGramEncoder, RecordEncoder, SequenceEncoder
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.classifier import CentroidClassifier
+
+__all__ = [
+    "DEFAULT_DIMENSION",
+    "random_bipolar",
+    "random_binary",
+    "random_hypervectors",
+    "to_binary",
+    "to_bipolar",
+    "bind",
+    "bundle",
+    "permute",
+    "normalize_hard",
+    "cosine_similarity",
+    "hamming_similarity",
+    "dot_similarity",
+    "similarity",
+    "ItemMemory",
+    "LevelItemMemory",
+    "CircularItemMemory",
+    "RecordEncoder",
+    "NGramEncoder",
+    "SequenceEncoder",
+    "AssociativeMemory",
+    "CentroidClassifier",
+]

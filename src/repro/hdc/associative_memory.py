@@ -1,0 +1,149 @@
+"""Associative memory of class hypervectors.
+
+A trained HDC model is a set of class vectors ``M = {C_1, ..., C_k}``
+(Section III-B of the paper).  The associative memory stores these vectors,
+answers nearest-class queries (inference, Section III-C), and supports the
+incremental updates needed for retraining and online learning.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.hdc.hypervector import ACCUMULATOR_DTYPE, ensure_matrix
+from repro.hdc.operations import normalize_hard, similarity_matrix
+
+
+class AssociativeMemory:
+    """Stores one accumulator vector per class and answers similarity queries.
+
+    The memory keeps *integer accumulators* internally (the un-normalized sum
+    of all hypervectors added to a class).  Queries can be answered either
+    against the raw accumulators (the paper's formulation, where the class
+    vector is the bundle of its training encodings) or against their
+    majority-vote normalization.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        metric: str = "cosine",
+        normalize_queries: bool = False,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = int(dimension)
+        self.metric = metric
+        self.normalize_queries = bool(normalize_queries)
+        self._accumulators: dict[Hashable, np.ndarray] = {}
+        self._counts: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def classes(self) -> list[Hashable]:
+        """Class labels currently stored, in insertion order."""
+        return list(self._accumulators.keys())
+
+    def __len__(self) -> int:
+        return len(self._accumulators)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._accumulators
+
+    def count(self, label: Hashable) -> int:
+        """Number of hypervectors accumulated into ``label`` (net of removals)."""
+        return self._counts.get(label, 0)
+
+    # ---------------------------------------------------------------- updates
+    def add(self, label: Hashable, hypervector: np.ndarray, weight: float = 1.0) -> None:
+        """Accumulate ``hypervector`` into the class vector for ``label``.
+
+        ``weight`` scales the contribution; negative weights subtract, which is
+        how perceptron-style HDC retraining removes a sample from the wrong
+        class.
+        """
+        hypervector = np.asarray(hypervector)
+        if hypervector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a hypervector of shape ({self.dimension},), "
+                f"got {hypervector.shape}"
+            )
+        accumulator = self._accumulators.get(label)
+        contribution = (hypervector.astype(np.float64) * weight).astype(
+            ACCUMULATOR_DTYPE
+        )
+        if accumulator is None:
+            self._accumulators[label] = contribution.copy()
+        else:
+            accumulator += contribution
+        self._counts[label] = self._counts.get(label, 0) + (1 if weight > 0 else -1)
+
+    def add_many(
+        self,
+        label: Hashable,
+        hypervectors: Sequence[np.ndarray] | np.ndarray,
+    ) -> None:
+        """Accumulate a batch of hypervectors into one class."""
+        matrix = ensure_matrix(hypervectors)
+        if matrix.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected hypervectors of dimension {self.dimension}, "
+                f"got {matrix.shape[1]}"
+            )
+        summed = matrix.astype(ACCUMULATOR_DTYPE).sum(axis=0)
+        accumulator = self._accumulators.get(label)
+        if accumulator is None:
+            self._accumulators[label] = summed
+        else:
+            accumulator += summed
+        self._counts[label] = self._counts.get(label, 0) + matrix.shape[0]
+
+    # ---------------------------------------------------------------- queries
+    def class_vector(self, label: Hashable, *, normalized: bool | None = None) -> np.ndarray:
+        """Return the stored class vector for ``label``.
+
+        ``normalized=True`` returns the bipolar majority vote of the
+        accumulator; ``False`` returns the raw integer accumulator; ``None``
+        follows the memory-wide ``normalize_queries`` setting.
+        """
+        if label not in self._accumulators:
+            raise KeyError(f"unknown class label: {label!r}")
+        accumulator = self._accumulators[label]
+        use_normalized = self.normalize_queries if normalized is None else normalized
+        if use_normalized:
+            return normalize_hard(accumulator, rng=0)
+        return accumulator.copy()
+
+    def _reference_matrix(self) -> np.ndarray:
+        vectors = []
+        for label in self._accumulators:
+            vectors.append(self.class_vector(label))
+        return np.vstack(vectors)
+
+    def similarities(
+        self, queries: Sequence[np.ndarray] | np.ndarray
+    ) -> tuple[np.ndarray, list[Hashable]]:
+        """Similarity of each query against every stored class.
+
+        Returns the ``(num_queries, num_classes)`` similarity matrix and the
+        class labels in column order.
+        """
+        if not self._accumulators:
+            raise RuntimeError("associative memory is empty; nothing to query")
+        references = self._reference_matrix()
+        matrix = similarity_matrix(queries, references, metric=self.metric)
+        return matrix, self.classes
+
+    def query(self, hypervector: np.ndarray) -> Hashable:
+        """Return the label of the most similar class vector."""
+        scores, labels = self.similarities(np.asarray(hypervector)[None, :])
+        return labels[int(np.argmax(scores[0]))]
+
+    def query_many(self, hypervectors: Sequence[np.ndarray] | np.ndarray) -> list[Hashable]:
+        """Return the most similar class label for each query hypervector."""
+        scores, labels = self.similarities(hypervectors)
+        winners = np.argmax(scores, axis=1)
+        return [labels[int(index)] for index in winners]

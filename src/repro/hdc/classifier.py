@@ -1,0 +1,191 @@
+"""Generic centroid-based HDC classifier.
+
+This module implements the standard HDC training loop described in
+Section III-B of the paper: encode every training sample, accumulate the
+encodings per class into class hypervectors, and classify new samples by
+nearest class vector.  It also implements two standard HDC refinements that
+the paper lists as future-work extensions of GraphHD:
+
+* **retraining** (perceptron-style): misclassified training samples are added
+  to their true class and subtracted from the wrongly predicted class for a
+  number of epochs;
+* **online learning**: samples can be added one by one after the initial fit.
+
+The classifier is encoding-agnostic: it operates on pre-encoded hypervectors,
+so GraphHD (and any other encoder) can reuse it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.hypervector import ensure_matrix
+
+
+@dataclass
+class RetrainingReport:
+    """Summary of a retraining run.
+
+    Attributes
+    ----------
+    epochs_run:
+        Number of retraining epochs actually executed.
+    errors_per_epoch:
+        Number of misclassified training samples at the start of each epoch.
+    converged:
+        True if an epoch finished with zero training errors.
+    """
+
+    epochs_run: int = 0
+    errors_per_epoch: list[int] = field(default_factory=list)
+    converged: bool = False
+
+
+class CentroidClassifier:
+    """Nearest-centroid classifier over hypervectors.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality of the hypervectors this classifier operates on.
+    metric:
+        Similarity metric used for inference (``"cosine"``, ``"hamming"`` or
+        ``"dot"``).
+    normalize_class_vectors:
+        If True the class accumulators are majority-vote normalized before
+        similarity queries (binary/bipolar model); if False (default) the raw
+        integer accumulators are used, matching the paper's formulation.
+        The Hamming metric only makes sense between bipolar vectors, so it
+        always normalizes regardless of this flag.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        metric: str = "cosine",
+        normalize_class_vectors: bool = False,
+    ) -> None:
+        self.dimension = int(dimension)
+        self.metric = metric
+        # Hamming similarity compares component equality, which is meaningless
+        # against un-normalized integer accumulators.
+        normalize = bool(normalize_class_vectors) or metric == "hamming"
+        self.memory = AssociativeMemory(
+            dimension, metric=metric, normalize_queries=normalize
+        )
+        self._is_fitted = False
+
+    # ------------------------------------------------------------------ train
+    def fit(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> "CentroidClassifier":
+        """Fit class vectors by bundling the encodings of each class."""
+        matrix = ensure_matrix(encodings)
+        labels = list(labels)
+        if matrix.shape[0] != len(labels):
+            raise ValueError(
+                f"number of encodings ({matrix.shape[0]}) does not match "
+                f"number of labels ({len(labels)})"
+            )
+        if matrix.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected encodings of dimension {self.dimension}, got {matrix.shape[1]}"
+            )
+        label_array = np.asarray(labels, dtype=object)
+        for label in dict.fromkeys(labels):
+            mask = label_array == label
+            self.memory.add_many(label, matrix[mask])
+        self._is_fitted = True
+        return self
+
+    def partial_fit(self, encoding: np.ndarray, label: Hashable) -> None:
+        """Online update: add a single encoded sample to its class vector."""
+        self.memory.add(label, np.asarray(encoding))
+        self._is_fitted = True
+
+    def retrain(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+        *,
+        epochs: int = 10,
+        learning_rate: float = 1.0,
+    ) -> RetrainingReport:
+        """Perceptron-style retraining over the (already encoded) training set.
+
+        For each misclassified sample the encoding is added (scaled by
+        ``learning_rate``) to the true class and subtracted from the predicted
+        class.  Stops early when an epoch produces no errors.
+        """
+        if not self._is_fitted:
+            raise RuntimeError("classifier must be fitted before retraining")
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+        matrix = ensure_matrix(encodings)
+        labels = list(labels)
+        if matrix.shape[0] != len(labels):
+            raise ValueError("encodings and labels length mismatch")
+        report = RetrainingReport()
+        for _ in range(epochs):
+            predictions = self.predict(matrix)
+            errors = [
+                index
+                for index, (predicted, actual) in enumerate(zip(predictions, labels))
+                if predicted != actual
+            ]
+            report.errors_per_epoch.append(len(errors))
+            report.epochs_run += 1
+            if not errors:
+                report.converged = True
+                break
+            for index in errors:
+                encoding = matrix[index]
+                self.memory.add(labels[index], encoding, weight=learning_rate)
+                self.memory.add(predictions[index], encoding, weight=-learning_rate)
+        return report
+
+    # -------------------------------------------------------------- inference
+    @property
+    def classes(self) -> list[Hashable]:
+        """Class labels known to the classifier."""
+        return self.memory.classes
+
+    def decision_scores(
+        self, encodings: Sequence[np.ndarray] | np.ndarray
+    ) -> tuple[np.ndarray, list[Hashable]]:
+        """Similarity of each encoding to every class vector."""
+        if not self._is_fitted:
+            raise RuntimeError("classifier has not been fitted")
+        return self.memory.similarities(encodings)
+
+    def predict(self, encodings: Sequence[np.ndarray] | np.ndarray) -> list[Hashable]:
+        """Predict the class of each encoded sample."""
+        scores, labels = self.decision_scores(encodings)
+        winners = np.argmax(scores, axis=1)
+        return [labels[int(index)] for index in winners]
+
+    def predict_one(self, encoding: np.ndarray) -> Hashable:
+        """Predict the class of a single encoded sample."""
+        return self.predict(np.asarray(encoding)[None, :])[0]
+
+    def score(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> float:
+        """Classification accuracy on pre-encoded samples."""
+        labels = list(labels)
+        predictions = self.predict(encodings)
+        if not labels:
+            raise ValueError("cannot score an empty set of samples")
+        correct = sum(
+            1 for predicted, actual in zip(predictions, labels) if predicted == actual
+        )
+        return correct / len(labels)

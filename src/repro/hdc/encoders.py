@@ -1,0 +1,158 @@
+"""Generic HDC encoders.
+
+These are the application-agnostic encoders described in Section III of the
+paper: record-based encoding for feature vectors (key-value binding followed
+by bundling), n-gram encoding for sequences (permute-and-bind), and a simple
+position-bound sequence encoder.  GraphHD's own graph encoder lives in
+:mod:`repro.core.encoding`; the encoders here serve as substrate, are used by
+the label-aware GraphHD extension, and make the HDC subpackage a complete
+standalone library.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.hdc.hypervector import DEFAULT_DIMENSION
+from repro.hdc.item_memory import ItemMemory, LevelItemMemory
+from repro.hdc.operations import bind, bundle, normalize_hard, permute
+
+
+class RecordEncoder:
+    """Record-based encoding of feature dictionaries.
+
+    Each feature identifier (key) gets a random *key hypervector* and each
+    feature value is mapped through either a categorical item memory or a
+    level memory (for numeric values).  A record is encoded as the normalized
+    bundle of the key-value bindings:
+
+    ``H = [ K_1 * V_1 + K_2 * V_2 + ... + K_N * V_N ]``
+    """
+
+    def __init__(
+        self,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        numeric_levels: int = 64,
+        numeric_range: tuple[float, float] = (0.0, 1.0),
+        seed: int | None = None,
+    ) -> None:
+        if numeric_levels < 2:
+            raise ValueError(f"numeric_levels must be >= 2, got {numeric_levels}")
+        self.dimension = int(dimension)
+        self.numeric_range = (float(numeric_range[0]), float(numeric_range[1]))
+        if self.numeric_range[1] <= self.numeric_range[0]:
+            raise ValueError(f"invalid numeric_range {numeric_range}")
+        root_rng = np.random.default_rng(seed)
+        key_seed, value_seed, level_seed, tie_seed = root_rng.integers(
+            0, 2**32 - 1, size=4
+        )
+        self._keys = ItemMemory(dimension, seed=int(key_seed))
+        self._categorical_values = ItemMemory(dimension, seed=int(value_seed))
+        self._levels = LevelItemMemory(numeric_levels, dimension, seed=int(level_seed))
+        self._tie_rng = np.random.default_rng(int(tie_seed))
+
+    def _value_hypervector(self, value: object) -> np.ndarray:
+        if isinstance(value, bool):
+            return self._categorical_values.get(value)
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            low, high = self.numeric_range
+            return self._levels.get_value(float(value), low, high)
+        if isinstance(value, Hashable):
+            return self._categorical_values.get(value)
+        raise TypeError(f"unsupported feature value type: {type(value)!r}")
+
+    def encode(self, record: Mapping[Hashable, object]) -> np.ndarray:
+        """Encode a feature record (mapping of key to value) into a hypervector."""
+        if not record:
+            raise ValueError("cannot encode an empty record")
+        bound = [
+            bind(self._keys.get(key), self._value_hypervector(value))
+            for key, value in record.items()
+        ]
+        return bundle(bound, rng=self._tie_rng)
+
+
+class NGramEncoder:
+    """N-gram encoding of symbol sequences via permute-and-bind.
+
+    Each symbol gets a random hypervector; an n-gram ``(s_1, ..., s_n)`` is
+    encoded as ``rho^{n-1}(S_1) * ... * rho(S_{n-1}) * S_n`` where ``rho`` is
+    the cyclic permutation; the sequence hypervector is the normalized bundle
+    of all its n-grams.  This is the classic HDC text/sequence encoding.
+    """
+
+    def __init__(
+        self,
+        n: int = 3,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+        self.dimension = int(dimension)
+        root_rng = np.random.default_rng(seed)
+        symbol_seed, tie_seed = root_rng.integers(0, 2**32 - 1, size=2)
+        self._symbols = ItemMemory(dimension, seed=int(symbol_seed))
+        self._tie_rng = np.random.default_rng(int(tie_seed))
+
+    def encode_ngram(self, ngram: Sequence[Hashable]) -> np.ndarray:
+        """Encode a single n-gram of symbols into one hypervector."""
+        if len(ngram) != self.n:
+            raise ValueError(f"expected an n-gram of length {self.n}, got {len(ngram)}")
+        parts = [
+            permute(self._symbols.get(symbol), self.n - 1 - position)
+            for position, symbol in enumerate(ngram)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        return bind(*parts)
+
+    def encode(self, sequence: Sequence[Hashable]) -> np.ndarray:
+        """Encode a full sequence as the bundle of its sliding n-grams."""
+        if len(sequence) < self.n:
+            raise ValueError(
+                f"sequence of length {len(sequence)} is shorter than n={self.n}"
+            )
+        ngrams = [
+            self.encode_ngram(sequence[start : start + self.n])
+            for start in range(len(sequence) - self.n + 1)
+        ]
+        return bundle(ngrams, rng=self._tie_rng)
+
+
+class SequenceEncoder:
+    """Position-bound sequence encoding.
+
+    Each position ``i`` gets a random position hypervector ``P_i`` and each
+    symbol a random symbol hypervector ``S``; the sequence is the normalized
+    bundle of ``P_i * S_i``.  Unlike :class:`NGramEncoder` this preserves
+    absolute positions rather than local order statistics.
+    """
+
+    def __init__(
+        self,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        self.dimension = int(dimension)
+        root_rng = np.random.default_rng(seed)
+        symbol_seed, position_seed, tie_seed = root_rng.integers(0, 2**32 - 1, size=3)
+        self._symbols = ItemMemory(dimension, seed=int(symbol_seed))
+        self._positions = ItemMemory(dimension, seed=int(position_seed))
+        self._tie_rng = np.random.default_rng(int(tie_seed))
+
+    def encode(self, sequence: Sequence[Hashable]) -> np.ndarray:
+        """Encode a sequence of symbols into one hypervector."""
+        if not sequence:
+            raise ValueError("cannot encode an empty sequence")
+        bound = [
+            bind(self._positions.get(position), self._symbols.get(symbol))
+            for position, symbol in enumerate(sequence)
+        ]
+        return bundle(bound, rng=self._tie_rng)

@@ -1,0 +1,170 @@
+"""Creation and conversion of hypervectors.
+
+Hypervectors are plain :class:`numpy.ndarray` objects.  GraphHD (and the rest of
+this library) follows the paper and uses *bipolar* hypervectors whose components
+are drawn independently and uniformly from ``{-1, +1}``, with a default
+dimensionality of 10,000.  Binary ``{0, 1}`` hypervectors are also supported
+because several HDC hardware papers (e.g. Schmuck et al.) operate on dense
+binary vectors; conversion helpers map between the two conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Dimensionality used by the paper for all experiments.
+DEFAULT_DIMENSION = 10_000
+
+#: Integer dtype used for bipolar/binary hypervectors.  ``int8`` keeps the
+#: memory footprint of a 10,000-dimensional vector at 10 kB.
+HV_DTYPE = np.int8
+
+#: Accumulator dtype used when bundling many hypervectors.
+ACCUMULATOR_DTYPE = np.int64
+
+
+def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for fresh OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_bipolar(
+    dimension: int = DEFAULT_DIMENSION,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw a single random bipolar hypervector with i.i.d. ``{-1, +1}`` entries.
+
+    Parameters
+    ----------
+    dimension:
+        Number of components.  Must be positive.
+    rng:
+        Seed or generator controlling the draw.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``int8`` array of shape ``(dimension,)``.
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    generator = _as_generator(rng)
+    values = generator.integers(0, 2, size=dimension, dtype=HV_DTYPE)
+    return (2 * values - 1).astype(HV_DTYPE)
+
+
+def random_binary(
+    dimension: int = DEFAULT_DIMENSION,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw a single random binary hypervector with i.i.d. ``{0, 1}`` entries."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    generator = _as_generator(rng)
+    return generator.integers(0, 2, size=dimension, dtype=HV_DTYPE)
+
+
+def random_hypervectors(
+    count: int,
+    dimension: int = DEFAULT_DIMENSION,
+    *,
+    kind: str = "bipolar",
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``count`` independent random hypervectors as a 2-D array.
+
+    Parameters
+    ----------
+    count:
+        Number of hypervectors to generate.
+    dimension:
+        Dimensionality of each hypervector.
+    kind:
+        Either ``"bipolar"`` (entries in ``{-1, +1}``) or ``"binary"``
+        (entries in ``{0, 1}``).
+    rng:
+        Seed or generator controlling the draw.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(count, dimension)`` and dtype ``int8``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    generator = _as_generator(rng)
+    bits = generator.integers(0, 2, size=(count, dimension), dtype=HV_DTYPE)
+    if kind == "binary":
+        return bits
+    if kind == "bipolar":
+        return (2 * bits - 1).astype(HV_DTYPE)
+    raise ValueError(f"kind must be 'bipolar' or 'binary', got {kind!r}")
+
+
+def to_bipolar(hypervector: np.ndarray) -> np.ndarray:
+    """Convert a binary ``{0, 1}`` hypervector to bipolar ``{-1, +1}``.
+
+    Bipolar inputs are returned unchanged (as a copy is not required the same
+    array may be returned).
+    """
+    array = np.asarray(hypervector)
+    if array.size == 0:
+        return array.astype(HV_DTYPE)
+    minimum = array.min()
+    if minimum < 0:
+        # Already bipolar.
+        return array.astype(HV_DTYPE, copy=False)
+    return (2 * array.astype(ACCUMULATOR_DTYPE) - 1).astype(HV_DTYPE)
+
+
+def to_binary(hypervector: np.ndarray) -> np.ndarray:
+    """Convert a bipolar ``{-1, +1}`` hypervector to binary ``{0, 1}``.
+
+    Binary inputs are returned unchanged.  Zero entries map to 0.
+    """
+    array = np.asarray(hypervector)
+    if array.size == 0:
+        return array.astype(HV_DTYPE)
+    if array.min() >= 0:
+        return array.astype(HV_DTYPE, copy=False)
+    return (array > 0).astype(HV_DTYPE)
+
+
+def ensure_matrix(hypervectors: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Stack a sequence of hypervectors into a 2-D ``(count, dimension)`` array.
+
+    A 2-D array input is passed through unchanged.  Raises ``ValueError`` on an
+    empty sequence because the dimensionality would be ambiguous.
+    """
+    if isinstance(hypervectors, np.ndarray) and hypervectors.ndim == 2:
+        return hypervectors
+    stacked = [np.asarray(hv) for hv in hypervectors]
+    if not stacked:
+        raise ValueError("cannot stack an empty sequence of hypervectors")
+    return np.vstack(stacked)
+
+
+def expected_orthogonality_bound(dimension: int, num_std: float = 4.0) -> float:
+    """Bound on the absolute cosine similarity of two random bipolar hypervectors.
+
+    Two i.i.d. random bipolar vectors have dot products distributed with mean 0
+    and standard deviation ``sqrt(dimension)``, so their cosine similarity has
+    standard deviation ``1 / sqrt(dimension)``.  The returned bound is
+    ``num_std`` standard deviations, useful in tests asserting
+    quasi-orthogonality.
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return num_std / float(np.sqrt(dimension))

@@ -1,0 +1,210 @@
+"""Item memories: stores of basis hypervectors.
+
+The encoding stage of every HDC model starts from a set of *basis
+hypervectors* that represent the atomic units of information (symbols,
+feature identifiers, discretized values, ...).  These stay fixed throughout
+training and inference.  Three standard flavours are provided:
+
+* :class:`ItemMemory` — independent random hypervectors, one per symbol; any
+  two entries are quasi-orthogonal.  GraphHD uses this to map PageRank
+  centrality ranks to vertex hypervectors.
+* :class:`LevelItemMemory` — correlated hypervectors for ordered/quantized
+  scalar values: neighbouring levels share most components, the extremes are
+  quasi-orthogonal.
+* :class:`CircularItemMemory` — like the level memory but wrapping around,
+  suited for periodic quantities (angles, time of day).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.hdc.hypervector import (
+    DEFAULT_DIMENSION,
+    HV_DTYPE,
+    random_bipolar,
+    random_hypervectors,
+)
+
+
+class ItemMemory:
+    """Lazy dictionary of independent random basis hypervectors.
+
+    Hypervectors are generated on first access and memoized so the same key
+    always maps to the same hypervector within one memory instance.  The
+    generation is driven by a private generator seeded at construction, making
+    the memory fully reproducible for a given seed *and* insertion order; the
+    :meth:`get_many` helper additionally guarantees order-independence by
+    sorting keys when they are all of one sortable type.
+    """
+
+    def __init__(
+        self,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = int(dimension)
+        self._rng = np.random.default_rng(seed)
+        self._store: dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def keys(self) -> Iterable[Hashable]:
+        """Keys that currently have a materialized hypervector."""
+        return self._store.keys()
+
+    def get(self, key: Hashable) -> np.ndarray:
+        """Return the hypervector for ``key``, creating it on first access."""
+        hypervector = self._store.get(key)
+        if hypervector is None:
+            hypervector = random_bipolar(self.dimension, rng=self._rng)
+            self._store[key] = hypervector
+        return hypervector
+
+    __getitem__ = get
+
+    def get_many(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Return hypervectors for ``keys`` stacked into a ``(len, d)`` array.
+
+        Unseen keys are materialized first, in sorted order when possible, so
+        that the mapping does not depend on the order of the query.
+        """
+        keys = list(keys)
+        unseen = [key for key in keys if key not in self._store]
+        if unseen:
+            try:
+                ordered = sorted(set(unseen))
+            except TypeError:
+                ordered = list(dict.fromkeys(unseen))
+            for key in ordered:
+                self.get(key)
+        if not keys:
+            return np.empty((0, self.dimension), dtype=HV_DTYPE)
+        return np.vstack([self._store[key] for key in keys])
+
+    def as_dict(self) -> Mapping[Hashable, np.ndarray]:
+        """Read-only snapshot of the materialized entries."""
+        return dict(self._store)
+
+
+class LevelItemMemory:
+    """Correlated hypervectors for an ordered set of quantization levels.
+
+    The memory interpolates between two random endpoint hypervectors: level 0
+    equals the low endpoint, the last level equals the high endpoint, and each
+    intermediate level flips a progressively larger prefix of a random
+    component permutation.  Consecutive levels therefore differ in roughly
+    ``dimension / (levels - 1)`` components, giving the similarity structure
+    expected of a thermometer/level encoding.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if levels < 2:
+            raise ValueError(f"levels must be at least 2, got {levels}")
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.levels = int(levels)
+        self.dimension = int(dimension)
+        rng = np.random.default_rng(seed)
+        low = random_bipolar(dimension, rng=rng)
+        high = random_bipolar(dimension, rng=rng)
+        flip_order = rng.permutation(dimension)
+        self._vectors = np.empty((levels, dimension), dtype=HV_DTYPE)
+        for level in range(levels):
+            fraction = level / (levels - 1)
+            flip_count = int(round(fraction * dimension))
+            vector = low.copy()
+            flip_positions = flip_order[:flip_count]
+            vector[flip_positions] = high[flip_positions]
+            self._vectors[level] = vector
+
+    def __len__(self) -> int:
+        return self.levels
+
+    def get(self, level: int) -> np.ndarray:
+        """Hypervector for quantization ``level`` (0-based)."""
+        if not 0 <= level < self.levels:
+            raise IndexError(f"level {level} out of range [0, {self.levels})")
+        return self._vectors[level]
+
+    __getitem__ = get
+
+    def get_value(self, value: float, low: float, high: float) -> np.ndarray:
+        """Quantize ``value`` from ``[low, high]`` into a level and return its HV."""
+        if high <= low:
+            raise ValueError(f"invalid range [{low}, {high}]")
+        clipped = min(max(value, low), high)
+        fraction = (clipped - low) / (high - low)
+        level = int(round(fraction * (self.levels - 1)))
+        return self.get(level)
+
+    def all_vectors(self) -> np.ndarray:
+        """All level hypervectors as a ``(levels, dimension)`` array."""
+        return self._vectors.copy()
+
+
+class CircularItemMemory:
+    """Level-style memory whose similarity structure wraps around.
+
+    Levels are placed on a circle and encoded by flipping a sliding window of
+    half the components: the cosine similarity between two levels decreases
+    linearly with their circular distance, reaching its minimum (maximal
+    dissimilarity) for diametrically opposite levels and rising back to 1 as
+    the distance wraps around.  Suited for periodic quantities such as angles
+    or time of day.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        dimension: int = DEFAULT_DIMENSION,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if levels < 2:
+            raise ValueError(f"levels must be at least 2, got {levels}")
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.levels = int(levels)
+        self.dimension = int(dimension)
+        rng = np.random.default_rng(seed)
+        base = random_bipolar(dimension, rng=rng)
+        flip_order = rng.permutation(dimension)
+        half = dimension // 2
+        self._vectors = np.empty((levels, dimension), dtype=HV_DTYPE)
+        for level in range(levels):
+            fraction = level / levels
+            start = int(round(fraction * dimension))
+            vector = base.copy()
+            window = np.arange(start, start + half) % dimension
+            positions = flip_order[window]
+            vector[positions] = -vector[positions]
+            self._vectors[level] = vector
+
+    def __len__(self) -> int:
+        return self.levels
+
+    def get(self, level: int) -> np.ndarray:
+        """Hypervector for ``level``; indices wrap modulo the number of levels."""
+        return self._vectors[level % self.levels]
+
+    __getitem__ = get
+
+    def all_vectors(self) -> np.ndarray:
+        """All level hypervectors as a ``(levels, dimension)`` array."""
+        return self._vectors.copy()

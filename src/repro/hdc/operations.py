@@ -1,0 +1,235 @@
+"""The fundamental HDC operations: bundling, binding, permutation, similarity.
+
+The paper (Section III) describes three operations over hypervectors:
+
+* **bundling** (addition): element-wise sum followed by an optional
+  majority-vote normalization, producing a vector similar to all its inputs;
+* **binding** (multiplication): element-wise product, producing a vector
+  quasi-orthogonal to both inputs — used by GraphHD to encode edges;
+* **permutation**: a cyclic rotation of the components, used to encode order.
+
+Similarity between hypervectors is measured with cosine similarity (bipolar)
+or the (inverse) normalized Hamming distance (binary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hdc.hypervector import ACCUMULATOR_DTYPE, HV_DTYPE, ensure_matrix
+
+
+def bind(*hypervectors: np.ndarray) -> np.ndarray:
+    """Bind two or more bipolar hypervectors by element-wise multiplication.
+
+    Binding is associative, commutative and — for bipolar vectors — its own
+    inverse: ``bind(bind(a, b), b) == a``.  The result is quasi-orthogonal to
+    each operand, which is what makes it suitable for representing an
+    association such as a graph edge.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two hypervectors are given or their shapes differ.
+    """
+    if len(hypervectors) < 2:
+        raise ValueError("bind requires at least two hypervectors")
+    first = np.asarray(hypervectors[0])
+    result = first.astype(ACCUMULATOR_DTYPE, copy=True)
+    for other in hypervectors[1:]:
+        other = np.asarray(other)
+        if other.shape != first.shape:
+            raise ValueError(
+                f"cannot bind hypervectors of shapes {first.shape} and {other.shape}"
+            )
+        result *= other.astype(ACCUMULATOR_DTYPE)
+    return result.astype(HV_DTYPE)
+
+
+def bundle(
+    hypervectors: Sequence[np.ndarray] | np.ndarray,
+    *,
+    normalize: bool = True,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Bundle (add) a collection of hypervectors.
+
+    Parameters
+    ----------
+    hypervectors:
+        Sequence of hypervectors (or a 2-D array of shape
+        ``(count, dimension)``) to be bundled.
+    normalize:
+        If ``True`` (default), apply the element-wise majority vote
+        ``sign(sum)`` so the result is again bipolar.  Ties (an exact zero
+        component, possible for an even number of inputs) are broken
+        randomly, which avoids a systematic bias towards either polarity.
+        If ``False``, the raw integer sum is returned — useful when further
+        bundling is going to happen (e.g. class-vector accumulation).
+    rng:
+        Seed or generator used only for random tie breaking.
+
+    Returns
+    -------
+    numpy.ndarray
+        Bipolar ``int8`` vector if ``normalize`` else an ``int64`` sum vector.
+    """
+    matrix = ensure_matrix(hypervectors)
+    summed = matrix.astype(ACCUMULATOR_DTYPE).sum(axis=0)
+    if not normalize:
+        return summed
+    return normalize_hard(summed, rng=rng)
+
+
+def normalize_hard(
+    accumulator: np.ndarray,
+    *,
+    rng: int | np.random.Generator | None = None,
+    tie_breaker: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply the element-wise majority vote (sign) to an accumulated sum.
+
+    Zero entries — ties in the majority vote — are assigned a random polarity
+    so that repeated normalization of even bundles does not bias the result.
+    Passing a fixed bipolar ``tie_breaker`` vector instead makes the
+    normalization fully deterministic (ties copy the tie-breaker's sign),
+    which GraphHD uses so that a graph always encodes to the same hypervector
+    regardless of batching.
+    """
+    accumulator = np.asarray(accumulator)
+    signed = np.sign(accumulator).astype(HV_DTYPE)
+    ties = signed == 0
+    if np.any(ties):
+        if tie_breaker is not None:
+            tie_breaker = np.asarray(tie_breaker)
+            if tie_breaker.shape != signed.shape:
+                raise ValueError(
+                    f"tie_breaker shape {tie_breaker.shape} does not match "
+                    f"accumulator shape {signed.shape}"
+                )
+            signed[ties] = tie_breaker[ties].astype(HV_DTYPE)
+        else:
+            generator = (
+                rng
+                if isinstance(rng, np.random.Generator)
+                else np.random.default_rng(rng)
+            )
+            random_signs = (
+                2 * generator.integers(0, 2, size=int(ties.sum()), dtype=np.int8) - 1
+            ).astype(HV_DTYPE)
+            signed[ties] = random_signs
+    return signed
+
+
+def permute(hypervector: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically rotate the components of a hypervector.
+
+    Permutation preserves the distance structure of the space while producing
+    a vector quasi-orthogonal to its input; it is typically used to encode the
+    position of an element in a sequence.  ``permute(x, k)`` undone by
+    ``permute(x, -k)``.
+    """
+    array = np.asarray(hypervector)
+    return np.roll(array, shifts, axis=-1)
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Raw dot product between two hypervectors as a Python float."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.dot(a, b))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two hypervectors, in ``[-1, 1]``.
+
+    A zero vector has, by convention, similarity 0 with everything.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Inverse normalized Hamming distance: the fraction of equal components.
+
+    Works for both binary and bipolar hypervectors; the result lies in
+    ``[0, 1]`` where 1 means identical and ~0.5 means unrelated random vectors.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 1.0
+    return float(np.mean(a == b))
+
+
+_SIMILARITY_FUNCTIONS = {
+    "cosine": cosine_similarity,
+    "hamming": hamming_similarity,
+    "dot": dot_similarity,
+}
+
+
+def similarity(a: np.ndarray, b: np.ndarray, metric: str = "cosine") -> float:
+    """Dispatch to one of the supported similarity metrics by name.
+
+    Supported metrics: ``"cosine"``, ``"hamming"``, ``"dot"``.
+    """
+    try:
+        function = _SIMILARITY_FUNCTIONS[metric]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown similarity metric {metric!r}; "
+            f"expected one of {sorted(_SIMILARITY_FUNCTIONS)}"
+        ) from error
+    return function(a, b)
+
+
+def similarity_matrix(
+    queries: Sequence[np.ndarray] | np.ndarray,
+    references: Sequence[np.ndarray] | np.ndarray,
+    metric: str = "cosine",
+) -> np.ndarray:
+    """Pairwise similarity between two collections of hypervectors.
+
+    Returns an array of shape ``(len(queries), len(references))``.  The cosine
+    and dot metrics are computed with a single matrix product; Hamming falls
+    back to a vectorized comparison.
+    """
+    query_matrix = ensure_matrix(queries).astype(np.float64)
+    reference_matrix = ensure_matrix(references).astype(np.float64)
+    if query_matrix.shape[1] != reference_matrix.shape[1]:
+        raise ValueError(
+            "dimensionality mismatch: "
+            f"{query_matrix.shape[1]} vs {reference_matrix.shape[1]}"
+        )
+    if metric == "dot":
+        return query_matrix @ reference_matrix.T
+    if metric == "cosine":
+        query_norms = np.linalg.norm(query_matrix, axis=1, keepdims=True)
+        reference_norms = np.linalg.norm(reference_matrix, axis=1, keepdims=True)
+        query_norms[query_norms == 0.0] = 1.0
+        reference_norms[reference_norms == 0.0] = 1.0
+        return (query_matrix / query_norms) @ (reference_matrix / reference_norms).T
+    if metric == "hamming":
+        # Broadcast comparison in blocks to avoid building a huge 3-D array.
+        result = np.empty((query_matrix.shape[0], reference_matrix.shape[0]))
+        for index, query in enumerate(query_matrix):
+            result[index] = np.mean(reference_matrix == query, axis=1)
+        return result
+    raise ValueError(
+        f"unknown similarity metric {metric!r}; "
+        f"expected one of {sorted(_SIMILARITY_FUNCTIONS)}"
+    )

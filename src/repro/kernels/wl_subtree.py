@@ -1,0 +1,69 @@
+"""Weisfeiler–Leman subtree kernel (1-WL).
+
+Shervashidze et al. (2011).  Each graph is represented by the sparse vector of
+counts of every WL colour over ``h`` refinement iterations (including the
+initial colouring); the kernel value is the dot product of two such vectors.
+The colour dictionary must be shared across all graphs participating in a
+gram-matrix computation, so :meth:`transform` re-runs the refinement over the
+stored training graphs together with the query graphs.
+
+The paper searches the number of iterations in ``{0, ..., 5}``; that grid is
+exposed through the ``grid`` attribute consumed by
+:class:`repro.kernels.base.KernelClassifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.wl_refinement import wl_subtree_features
+from repro.kernels.base import GraphKernel, sparse_feature_gram
+
+
+class WLSubtreeKernel(GraphKernel):
+    """1-WL subtree kernel with a configurable number of refinement iterations."""
+
+    grid: dict[str, Sequence] = {"iterations": tuple(range(0, 6))}
+
+    def __init__(self, iterations: int = 3, *, use_vertex_labels: bool = False) -> None:
+        if iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {iterations}")
+        self.iterations = int(iterations)
+        self.use_vertex_labels = bool(use_vertex_labels)
+        self._train_graphs: list[Graph] | None = None
+        self._train_features: list[dict[int, int]] | None = None
+
+    def fit_transform(self, graphs: Sequence[Graph]) -> np.ndarray:
+        self._train_graphs = list(graphs)
+        self._train_features = wl_subtree_features(
+            self._train_graphs,
+            self.iterations,
+            use_vertex_labels=self.use_vertex_labels,
+        )
+        return sparse_feature_gram(self._train_features)
+
+    def transform(self, graphs: Sequence[Graph]) -> np.ndarray:
+        if self._train_graphs is None:
+            raise RuntimeError("kernel has not been fitted")
+        graphs = list(graphs)
+        combined = self._train_graphs + graphs
+        features = wl_subtree_features(
+            combined, self.iterations, use_vertex_labels=self.use_vertex_labels
+        )
+        train_features = features[: len(self._train_graphs)]
+        query_features = features[len(self._train_graphs) :]
+        return sparse_feature_gram(query_features, train_features)
+
+    def self_similarity(self, graph: Graph) -> float:
+        features = wl_subtree_features(
+            [graph], self.iterations, use_vertex_labels=self.use_vertex_labels
+        )[0]
+        return float(sum(value * value for value in features.values()))
+
+    def clone(self) -> "WLSubtreeKernel":
+        return WLSubtreeKernel(
+            self.iterations, use_vertex_labels=self.use_vertex_labels
+        )

@@ -1,0 +1,49 @@
+"""Neural network substrate for the GNN baselines.
+
+The paper compares GraphHD against two graph neural networks, GIN-eps and
+GIN-eps-JK (Xu et al., 2019; 2018), trained with Adam and a
+reduce-on-plateau learning-rate schedule.  This subpackage provides everything
+needed to train those models from scratch on top of numpy:
+
+* :mod:`repro.nn.autograd` — a reverse-mode automatic differentiation engine
+  over dense numpy arrays with support for constant sparse matrices
+  (message passing and graph pooling are sparse mat-muls);
+* :mod:`repro.nn.layers` — Linear, MLP, ReLU, Dropout, BatchNorm;
+* :mod:`repro.nn.gnn` — the GIN convolution, sum pooling, jumping knowledge,
+  and the GIN-eps / GIN-eps-JK classifiers;
+* :mod:`repro.nn.optim` — SGD, Adam, and the ReduceLROnPlateau scheduler;
+* :mod:`repro.nn.losses` — softmax cross-entropy;
+* :mod:`repro.nn.batching` + :mod:`repro.nn.training` — graph mini-batching
+  and the training loop used by the evaluation harness.
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import MLP, BatchNorm1d, Dropout, Linear, Module, ReLU, Sequential
+from repro.nn.gnn import GINClassifier, GINConv, GINJKClassifier
+from repro.nn.optim import SGD, Adam, ReduceLROnPlateau
+from repro.nn.losses import cross_entropy
+from repro.nn.batching import GraphBatch, batch_graphs
+from repro.nn.training import GNNTrainer, TrainingConfig
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Dropout",
+    "BatchNorm1d",
+    "Sequential",
+    "MLP",
+    "GINConv",
+    "GINClassifier",
+    "GINJKClassifier",
+    "SGD",
+    "Adam",
+    "ReduceLROnPlateau",
+    "cross_entropy",
+    "GraphBatch",
+    "batch_graphs",
+    "GNNTrainer",
+    "TrainingConfig",
+]

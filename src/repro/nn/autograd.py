@@ -1,0 +1,385 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+The engine implements exactly what the GIN baselines need: dense matrix
+multiplication, broadcasting element-wise arithmetic, ReLU, sparse
+(constant) matrix products for message passing and pooling, reductions, and
+log-softmax.  Gradients are accumulated by a topological-order backward pass
+over the recorded computation graph, mirroring the design of PyTorch's
+autograd at a much smaller scale.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+from scipy import sparse
+
+# Global flag toggled by the ``no_grad`` context manager.
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording (used for inference)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``gradient`` back to ``shape`` after numpy broadcasting."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum over leading broadcast dimensions.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and a backward closure.
+
+    Parameters
+    ----------
+    data:
+        Array-like value; always stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        *,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents = _parents if _GRAD_ENABLED else ()
+        self.name = name
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """The value of a single-element tensor as a Python float."""
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.data.shape}"
+            )
+        return float(self.data.item())
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing the data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # --------------------------------------------------------------- plumbing
+    @staticmethod
+    def _ensure(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad = self.grad + gradient
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor"
+                )
+            gradient = np.ones_like(self.data)
+
+        # Topological order of the graph reachable from self.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        gradients: dict[int, np.ndarray] = {id(self): np.asarray(gradient, dtype=np.float64)}
+        for node in reversed(order):
+            node_gradient = gradients.pop(id(node), None)
+            if node_gradient is None:
+                continue
+            if node.requires_grad and not node._parents:
+                # Leaf parameter: accumulate into .grad.
+                node._accumulate(node_gradient)
+            if node._backward is not None:
+                contributions = node._backward(node_gradient)
+                for parent, contribution in contributions:
+                    if contribution is None:
+                        continue
+                    existing = gradients.get(id(parent))
+                    if existing is None:
+                        gradients[id(parent)] = contribution
+                    else:
+                        gradients[id(parent)] = existing + contribution
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], list[tuple["Tensor", np.ndarray | None]]],
+    ) -> "Tensor":
+        track = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        result = Tensor(data, requires_grad=track, _parents=parents if track else ())
+        if track:
+            # Interior node: gradients flow through it (requires_grad marks the
+            # graph as live) but only leaf tensors accumulate .grad.
+            result._backward = backward
+        return result
+
+    # ------------------------------------------------------------- operations
+    def __add__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        data = self.data + other.data
+
+        def backward(gradient):
+            return [
+                (self, _unbroadcast(gradient, self.data.shape)),
+                (other, _unbroadcast(gradient, other.data.shape)),
+            ]
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(gradient):
+            return [(self, -gradient)]
+
+        return self._make(data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        data = self.data * other.data
+
+        def backward(gradient):
+            return [
+                (self, _unbroadcast(gradient * other.data, self.data.shape)),
+                (other, _unbroadcast(gradient * self.data, other.data.shape)),
+            ]
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        data = self.data / other.data
+
+        def backward(gradient):
+            return [
+                (self, _unbroadcast(gradient / other.data, self.data.shape)),
+                (
+                    other,
+                    _unbroadcast(
+                        -gradient * self.data / (other.data**2), other.data.shape
+                    ),
+                ),
+            ]
+
+        return self._make(data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(gradient):
+            return [(self, gradient * exponent * self.data ** (exponent - 1))]
+
+        return self._make(data, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._ensure(other)
+        data = self.data @ other.data
+
+        def backward(gradient):
+            return [
+                (self, gradient @ other.data.T),
+                (other, self.data.T @ gradient),
+            ]
+
+        return self._make(data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(gradient):
+            return [(self, gradient * mask)]
+
+        return self._make(data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(gradient):
+            return [(self, gradient * data)]
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(gradient):
+            return [(self, gradient / self.data)]
+
+        return self._make(data, (self,), backward)
+
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(gradient):
+            gradient = np.asarray(gradient, dtype=np.float64)
+            if axis is None:
+                expanded = np.broadcast_to(gradient, self.data.shape)
+            else:
+                if not keepdims:
+                    gradient = np.expand_dims(gradient, axis=axis)
+                expanded = np.broadcast_to(gradient, self.data.shape)
+            return [(self, expanded.copy())]
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+
+        def backward(gradient):
+            return [(self, gradient.reshape(self.data.shape))]
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        data = self.data.T
+
+        def backward(gradient):
+            return [(self, gradient.T)]
+
+        return self._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum_exp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        data = shifted - log_sum_exp
+        softmax = np.exp(data)
+
+        def backward(gradient):
+            summed = gradient.sum(axis=axis, keepdims=True)
+            return [(self, gradient - softmax * summed)]
+
+        return self._make(data, (self,), backward)
+
+    def concatenate(self, others: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [self] + [self._ensure(other) for other in others]
+        data = np.concatenate([tensor.data for tensor in tensors], axis=axis)
+        sizes = [tensor.data.shape[axis] for tensor in tensors]
+        boundaries = np.cumsum(sizes)[:-1]
+
+        def backward(gradient):
+            pieces = np.split(gradient, boundaries, axis=axis)
+            return list(zip(tensors, pieces))
+
+        return self._make(data, tuple(tensors), backward)
+
+
+def concatenate(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate a list of tensors along ``axis`` (autograd-aware)."""
+    if not tensors:
+        raise ValueError("cannot concatenate an empty list of tensors")
+    if len(tensors) == 1:
+        return tensors[0]
+    return tensors[0].concatenate(tensors[1:], axis=axis)
+
+
+def sparse_matmul(matrix: sparse.spmatrix, tensor: Tensor) -> Tensor:
+    """Multiply a *constant* sparse matrix with a dense tensor.
+
+    Used for message passing (adjacency @ node features) and graph pooling
+    (indicator @ node features).  The sparse matrix carries no gradient; the
+    gradient with respect to the dense operand is ``matrix.T @ upstream``.
+    """
+    matrix = matrix.tocsr()
+    data = matrix @ tensor.data
+
+    def backward(gradient):
+        return [(tensor, matrix.T @ gradient)]
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def parameter(data, name: str | None = None) -> Tensor:
+    """Create a leaf tensor that accumulates gradients (a trainable parameter)."""
+    tensor = Tensor(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+    return tensor

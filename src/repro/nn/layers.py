@@ -1,0 +1,220 @@
+"""Neural network layers built on the autograd engine.
+
+Only the layers needed by the GIN baselines are provided: linear layers with
+Glorot initialization, ReLU, dropout, 1-D batch normalization (used inside the
+GIN multi-layer perceptrons), a ``Sequential`` container and a convenience
+``MLP`` factory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, parameter
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register parameters by assigning :class:`Tensor` leaves created
+    with :func:`repro.nn.autograd.parameter` to attributes, and sub-modules by
+    assigning :class:`Module` attributes; :meth:`parameters` walks both.
+    """
+
+    training: bool = True
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters of this module and its children."""
+        found: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            self._collect(value, found, seen)
+        return found
+
+    def _collect(self, value, found: list[Tensor], seen: set[int]) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            for parameter_tensor in value.parameters():
+                if id(parameter_tensor) not in seen:
+                    seen.add(id(parameter_tensor))
+                    found.append(parameter_tensor)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect(item, found, seen)
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
+        for parameter_tensor in self.parameters():
+            parameter_tensor.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to evaluation mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(parameter_tensor.data.size for parameter_tensor in self.parameters()))
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b`` with Glorot-uniform initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        weight = generator.uniform(-limit, limit, size=(in_features, out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = parameter(weight, name="weight")
+        self.bias = parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        outputs = inputs @ self.weight
+        if self.bias is not None:
+            outputs = outputs + self.bias
+        return outputs
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, probability: float = 0.5, *, rng: int | np.random.Generator | None = None):
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {probability}")
+        self.probability = float(probability)
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.probability == 0.0:
+            return inputs
+        keep = 1.0 - self.probability
+        mask = (self._rng.random(inputs.shape) < keep).astype(np.float64) / keep
+        return inputs * Tensor(mask)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature dimension of ``(batch, features)`` inputs.
+
+    Keeps running estimates of mean and variance for evaluation mode, as the
+    reference GIN implementation does inside its MLPs.
+    """
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1, epsilon: float = 1e-5):
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma = parameter(np.ones(num_features), name="gamma")
+        self.beta = parameter(np.zeros(num_features), name="beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if self.training:
+            batch_mean = inputs.data.mean(axis=0)
+            batch_var = inputs.data.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            mean, variance = batch_mean, batch_var
+        else:
+            mean, variance = self.running_mean, self.running_var
+        scale = 1.0 / np.sqrt(variance + self.epsilon)
+        normalized = (inputs + Tensor(-mean)) * Tensor(scale)
+        return normalized * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Applies a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        outputs = inputs
+        for module in self.modules:
+            outputs = module(outputs)
+        return outputs
+
+
+def MLP(
+    in_features: int,
+    hidden_features: int,
+    out_features: int,
+    *,
+    use_batch_norm: bool = True,
+    rng: int | np.random.Generator | None = None,
+) -> Sequential:
+    """Two-layer perceptron used inside GIN convolutions.
+
+    Structure: ``Linear -> ReLU -> Linear`` with an optional batch norm on the
+    output, mirroring the reference GIN architecture.
+    """
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    layers: list[Module] = [
+        Linear(in_features, hidden_features, rng=generator),
+        ReLU(),
+        Linear(hidden_features, out_features, rng=generator),
+    ]
+    if use_batch_norm:
+        layers.append(BatchNorm1d(out_features))
+    return Sequential(*layers)

@@ -1,0 +1,47 @@
+"""Loss functions for the GNN baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy between ``logits`` and integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, num_classes)``.
+    targets:
+        Integer array of shape ``(batch,)`` with class indices.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits shape {logits.shape}"
+        )
+    if targets.min(initial=0) < 0 or targets.max(initial=0) >= logits.shape[1]:
+        raise ValueError("target class index out of range")
+
+    log_probabilities = logits.log_softmax(axis=-1)
+    batch_size, num_classes = logits.shape
+    one_hot = np.zeros((batch_size, num_classes), dtype=np.float64)
+    one_hot[np.arange(batch_size), targets] = 1.0
+    negative_log_likelihood = -(log_probabilities * Tensor(one_hot)).sum() * (
+        1.0 / batch_size
+    )
+    return negative_log_likelihood
+
+
+def accuracy_from_logits(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose arg-max matches the target class index."""
+    values = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if len(targets) == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    predictions = values.argmax(axis=-1)
+    return float(np.mean(predictions == targets))

@@ -1,0 +1,181 @@
+"""Optimizers and learning-rate scheduling.
+
+The paper trains the GNN baselines with Adam starting at a learning rate of
+0.01 and a reduce-on-plateau scheduler (patience 5, decay 0.5, minimum 1e-6),
+so both are implemented here along with plain SGD (used in tests and as a
+sanity baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list and the shared ``zero_grad``."""
+
+    def __init__(self, parameters: Sequence[Tensor], learning_rate: float) -> None:
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.parameters = parameters
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient of every parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        learning_rate: float = 0.01,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                self._velocity[index] = (
+                    self.momentum * self._velocity[index] + gradient
+                )
+                gradient = self._velocity[index]
+            parameter.data -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        learning_rate: float = 0.01,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            self._first_moment[index] = (
+                self.beta1 * self._first_moment[index] + (1 - self.beta1) * gradient
+            )
+            self._second_moment[index] = (
+                self.beta2 * self._second_moment[index]
+                + (1 - self.beta2) * gradient**2
+            )
+            corrected_first = self._first_moment[index] / bias1
+            corrected_second = self._second_moment[index] / bias2
+            parameter.data -= (
+                self.learning_rate
+                * corrected_first
+                / (np.sqrt(corrected_second) + self.epsilon)
+            )
+
+
+class ReduceLROnPlateau:
+    """Reduce the optimizer's learning rate when a monitored metric stops improving.
+
+    Matches the scheduler used by the paper: patience 5, decay factor 0.5, and
+    a minimum learning rate of 1e-6.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        *,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_learning_rate: float = 1e-6,
+        mode: str = "min",
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if patience < 0:
+            raise ValueError(f"patience must be non-negative, got {patience}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.optimizer = optimizer
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.min_learning_rate = float(min_learning_rate)
+        self.mode = mode
+        self._best: float | None = None
+        self._bad_epochs = 0
+
+    @property
+    def learning_rate(self) -> float:
+        """Current learning rate of the wrapped optimizer."""
+        return self.optimizer.learning_rate
+
+    def _is_improvement(self, metric: float) -> bool:
+        if self._best is None:
+            return True
+        if self.mode == "min":
+            return metric < self._best - 1e-12
+        return metric > self._best + 1e-12
+
+    def step(self, metric: float) -> bool:
+        """Record ``metric`` for this epoch; returns True if the LR was reduced."""
+        if self._is_improvement(metric):
+            self._best = float(metric)
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        if self._bad_epochs > self.patience:
+            new_learning_rate = max(
+                self.optimizer.learning_rate * self.factor, self.min_learning_rate
+            )
+            reduced = new_learning_rate < self.optimizer.learning_rate
+            self.optimizer.learning_rate = new_learning_rate
+            self._bad_epochs = 0
+            return reduced
+        return False

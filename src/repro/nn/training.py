@@ -1,0 +1,201 @@
+"""Training loop for the GNN baselines.
+
+The trainer reproduces the baseline protocol of the paper (Section V-A2):
+Adam starting at learning rate 0.01, a reduce-on-plateau schedule with
+patience 5 and decay 0.5 down to 1e-6, mini-batches of 128 graphs, and a
+fixed architecture of 1 GIN layer with 32 hidden units.  Node features are
+one-hot encoded degrees because the evaluation restricts all methods to graph
+structure only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.nn.autograd import no_grad
+from repro.nn.batching import batch_graphs, iterate_minibatches
+from repro.nn.gnn import GINClassifier, GINJKClassifier
+from repro.nn.layers import Module
+from repro.nn.losses import accuracy_from_logits, cross_entropy
+from repro.nn.optim import Adam, ReduceLROnPlateau
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the GNN training loop (paper defaults).
+
+    The paper trains with Adam at 0.01 and a plateau scheduler that halves the
+    learning rate (patience 5) down to 1e-6; training stops when the schedule
+    bottoms out or after ``epochs`` epochs, mirroring the TUDataset reference
+    protocol the baselines were taken from.
+    """
+
+    hidden_features: int = 32
+    num_layers: int = 1
+    epochs: int = 100
+    batch_size: int = 128
+    learning_rate: float = 0.01
+    scheduler_patience: int = 5
+    scheduler_factor: float = 0.5
+    min_learning_rate: float = 1e-6
+    stop_at_min_learning_rate: bool = True
+    dropout: float = 0.5
+    max_degree: int = 32
+    use_batch_norm: bool = True
+    seed: int | None = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded during training."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+
+
+class GNNTrainer:
+    """Fits a GIN-eps or GIN-eps-JK classifier on a set of labelled graphs.
+
+    Parameters
+    ----------
+    variant:
+        ``"gin"`` for GIN-eps or ``"gin-jk"`` for GIN-eps-JK.
+    config:
+        Training hyper-parameters; defaults follow the paper.
+    """
+
+    def __init__(self, variant: str = "gin", config: TrainingConfig | None = None) -> None:
+        if variant not in ("gin", "gin-jk"):
+            raise ValueError(f"variant must be 'gin' or 'gin-jk', got {variant!r}")
+        self.variant = variant
+        self.config = config or TrainingConfig()
+        self.model: Module | None = None
+        self.class_to_index: dict[Hashable, int] = {}
+        self.index_to_class: list[Hashable] = []
+        self.history: TrainingHistory | None = None
+
+    def _build_model(self, in_features: int, num_classes: int) -> Module:
+        config = self.config
+        if self.variant == "gin":
+            return GINClassifier(
+                in_features,
+                num_classes,
+                hidden_features=config.hidden_features,
+                num_layers=config.num_layers,
+                dropout=config.dropout,
+                use_batch_norm=config.use_batch_norm,
+                seed=config.seed,
+            )
+        return GINJKClassifier(
+            in_features,
+            num_classes,
+            hidden_features=config.hidden_features,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            use_batch_norm=config.use_batch_norm,
+            seed=config.seed,
+        )
+
+    def fit(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> "GNNTrainer":
+        """Train the model on labelled graphs."""
+        graphs = list(graphs)
+        labels = list(labels)
+        if len(graphs) != len(labels):
+            raise ValueError("graphs and labels must have the same length")
+        config = self.config
+
+        distinct = sorted(set(labels), key=lambda value: (str(type(value)), str(value)))
+        self.class_to_index = {label: index for index, label in enumerate(distinct)}
+        self.index_to_class = distinct
+
+        in_features = config.max_degree + 1
+        self.model = self._build_model(in_features, len(distinct))
+        self.model.train()
+        optimizer = Adam(self.model.parameters(), learning_rate=config.learning_rate)
+        scheduler = ReduceLROnPlateau(
+            optimizer,
+            factor=config.scheduler_factor,
+            patience=config.scheduler_patience,
+            min_learning_rate=config.min_learning_rate,
+        )
+
+        labelled_graphs = []
+        for graph, label in zip(graphs, labels):
+            if graph.graph_label != label:
+                graph = graph.copy()
+                graph.graph_label = label
+            labelled_graphs.append(graph)
+
+        history = TrainingHistory()
+        rng = np.random.default_rng(config.seed)
+        start_time = time.perf_counter()
+        for _ in range(config.epochs):
+            epoch_losses = []
+            epoch_accuracies = []
+            for batch in iterate_minibatches(
+                labelled_graphs,
+                batch_size=config.batch_size,
+                class_to_index=self.class_to_index,
+                max_degree=config.max_degree,
+                shuffle=True,
+                rng=rng,
+            ):
+                optimizer.zero_grad()
+                logits = self.model(batch)
+                loss = cross_entropy(logits, batch.labels)
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_accuracies.append(accuracy_from_logits(logits, batch.labels))
+            epoch_loss = float(np.mean(epoch_losses))
+            history.losses.append(epoch_loss)
+            history.accuracies.append(float(np.mean(epoch_accuracies)))
+            history.learning_rates.append(optimizer.learning_rate)
+            scheduler.step(epoch_loss)
+            if (
+                config.stop_at_min_learning_rate
+                and optimizer.learning_rate <= config.min_learning_rate
+            ):
+                break
+        history.wall_time_seconds = time.perf_counter() - start_time
+        self.history = history
+        return self
+
+    def predict(self, graphs: Sequence[Graph]) -> list[Hashable]:
+        """Predict class labels for new graphs."""
+        if self.model is None:
+            raise RuntimeError("trainer has not been fitted")
+        graphs = list(graphs)
+        self.model.eval()
+        predictions: list[Hashable] = []
+        with no_grad():
+            for start in range(0, len(graphs), self.config.batch_size):
+                chunk = graphs[start : start + self.config.batch_size]
+                batch = batch_graphs(
+                    chunk,
+                    class_to_index=None,
+                    max_degree=self.config.max_degree,
+                )
+                logits = self.model(batch)
+                indices = logits.data.argmax(axis=-1)
+                predictions.extend(self.index_to_class[int(index)] for index in indices)
+        self.model.train()
+        return predictions
+
+    def score(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> float:
+        """Accuracy on a labelled set of graphs."""
+        labels = list(labels)
+        predictions = self.predict(graphs)
+        if not labels:
+            raise ValueError("cannot score an empty set of graphs")
+        correct = sum(
+            1 for predicted, actual in zip(predictions, labels) if predicted == actual
+        )
+        return correct / len(labels)

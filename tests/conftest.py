@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite.
+
+Hypervector dimensions are kept small (a few hundred to a couple of thousand)
+so the suite runs quickly; the statistical properties being tested only need
+enough dimensions for concentration, not the full 10,000 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import GraphDataset
+from repro.datasets.synthetic import make_benchmark_dataset
+from repro.graphs.generators import erdos_renyi_graph, ring_of_cliques_graph, tree_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """The 3-cycle: the smallest graph with a cycle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], graph_label=0)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A path on five vertices."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)], graph_label=1)
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A star with one hub and five leaves."""
+    return Graph(6, [(0, leaf) for leaf in range(1, 6)], graph_label=0)
+
+
+@pytest.fixture
+def labelled_graph() -> Graph:
+    """A small graph carrying vertex and edge labels."""
+    return Graph(
+        4,
+        [(0, 1), (1, 2), (2, 3), (3, 0)],
+        vertex_labels=["C", "N", "C", "O"],
+        edge_labels={(0, 1): 1, (1, 2): 2, (2, 3): 1, (0, 3): 1},
+        graph_label=1,
+    )
+
+
+@pytest.fixture
+def small_graph_collection() -> list[Graph]:
+    """A mixed bag of small graphs used for kernel/encoder tests."""
+    graphs = [
+        Graph(3, [(0, 1), (1, 2), (0, 2)], graph_label=0),
+        Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)], graph_label=1),
+        Graph(6, [(0, leaf) for leaf in range(1, 6)], graph_label=0),
+        Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], graph_label=1),
+        Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], graph_label=0),
+        Graph(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], graph_label=1),
+    ]
+    return graphs
+
+
+@pytest.fixture
+def two_class_dataset() -> GraphDataset:
+    """A small, clearly separable two-class dataset (cliquey vs tree-like)."""
+    rng = np.random.default_rng(7)
+    graphs = []
+    for index in range(30):
+        if index % 2 == 0:
+            graph = ring_of_cliques_graph(4, 4, rng=rng, graph_label=0)
+        else:
+            graph = tree_graph(16, max_children=2, rng=rng, graph_label=1)
+        graphs.append(graph)
+    return GraphDataset("toy-two-class", graphs)
+
+
+@pytest.fixture
+def random_graph_dataset() -> GraphDataset:
+    """Erdős–Rényi graphs with a density contrast between two classes."""
+    rng = np.random.default_rng(11)
+    graphs = []
+    for index in range(24):
+        label = index % 2
+        probability = 0.08 if label == 0 else 0.25
+        graphs.append(
+            erdos_renyi_graph(20, probability, rng=rng, graph_label=label)
+        )
+    return GraphDataset("toy-random", graphs)
+
+
+@pytest.fixture(scope="session")
+def mutag_like_dataset() -> GraphDataset:
+    """A small synthetic MUTAG-style dataset shared across integration tests."""
+    return make_benchmark_dataset("MUTAG", scale=0.35, seed=3)

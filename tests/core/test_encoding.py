@@ -1,0 +1,183 @@
+"""Tests for the GraphHD encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.hdc.operations import cosine_similarity
+
+DIMENSION = 2048
+
+
+@pytest.fixture
+def encoder():
+    return GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GraphHDConfig()
+        assert config.dimension == 10_000
+        assert config.centrality == "pagerank"
+        assert config.pagerank_iterations == 10
+        assert config.pagerank_batch_size == 256
+        assert config.normalize_graph_hypervectors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphHDConfig(dimension=0)
+        with pytest.raises(ValueError):
+            GraphHDConfig(centrality="betweenness")
+        with pytest.raises(ValueError):
+            GraphHDConfig(pagerank_iterations=-1)
+        with pytest.raises(ValueError):
+            GraphHDConfig(pagerank_batch_size=0)
+
+
+class TestVertexIdentifiers:
+    def test_ranks_are_permutation(self, encoder, star_graph):
+        identifiers = encoder.vertex_identifiers(star_graph)
+        assert sorted(identifiers) == list(range(star_graph.num_vertices))
+
+    def test_hub_gets_rank_zero(self, encoder, star_graph):
+        identifiers = encoder.vertex_identifiers(star_graph)
+        assert identifiers[0] == 0
+
+    def test_same_rank_same_hypervector_across_graphs(self, encoder):
+        star_a = Graph(5, [(0, i) for i in range(1, 5)])
+        star_b = Graph(7, [(0, i) for i in range(1, 7)])
+        vectors_a = encoder.encode_vertices(star_a)
+        vectors_b = encoder.encode_vertices(star_b)
+        # Both hubs have rank 0 and must share the same basis hypervector.
+        assert np.array_equal(vectors_a[0], vectors_b[0])
+
+    def test_degree_centrality_option(self):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, centrality="degree", seed=0)
+        )
+        star = Graph(5, [(0, i) for i in range(1, 5)])
+        assert encoder.vertex_identifiers(star)[0] == 0
+
+    def test_eigenvector_centrality_option(self):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, centrality="eigenvector", seed=0)
+        )
+        star = Graph(5, [(0, i) for i in range(1, 5)])
+        assert encoder.vertex_identifiers(star)[0] == 0
+
+    def test_random_centrality_is_arbitrary_permutation(self):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, centrality="random", seed=0)
+        )
+        graph = erdos_renyi_graph(20, 0.2, rng=0)
+        identifiers = encoder.vertex_identifiers(graph)
+        assert sorted(identifiers) == list(range(20))
+
+
+class TestEdgeEncoding:
+    def test_edge_hypervectors_shape(self, encoder, triangle_graph):
+        edges = encoder.encode_edges(triangle_graph)
+        assert edges.shape == (3, DIMENSION)
+        assert set(np.unique(edges)) <= {-1, 1}
+
+    def test_edge_is_binding_of_endpoints(self, encoder, path_graph):
+        vertices = encoder.encode_vertices(path_graph)
+        edges = encoder.encode_edges(path_graph, vertices)
+        expected = vertices[0].astype(np.int64) * vertices[1].astype(np.int64)
+        assert np.array_equal(edges[0].astype(np.int64), expected)
+
+    def test_edgeless_graph(self, encoder):
+        edges = encoder.encode_edges(Graph(4))
+        assert edges.shape == (0, DIMENSION)
+
+
+class TestGraphEncoding:
+    def test_encoding_is_bipolar(self, encoder, small_graph_collection):
+        for graph in small_graph_collection:
+            hypervector = encoder.encode(graph)
+            assert hypervector.shape == (DIMENSION,)
+            assert set(np.unique(hypervector)) <= {-1, 1}
+
+    def test_deterministic(self, encoder, triangle_graph):
+        # Encoding has no randomness beyond tie-breaking of even bundles;
+        # the triangle has three edges so no ties arise.
+        assert np.array_equal(encoder.encode(triangle_graph), encoder.encode(triangle_graph))
+
+    def test_isomorphic_graphs_encode_identically(self, encoder):
+        first = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        second = Graph(4, [(3, 2), (2, 1), (1, 0)])
+        assert np.array_equal(encoder.encode(first), encoder.encode(second))
+
+    def test_similar_graphs_more_similar_than_different(self, encoder):
+        rng = np.random.default_rng(0)
+        base = erdos_renyi_graph(20, 0.2, rng=rng)
+        # A near-copy: same graph with one extra edge.
+        near = base.copy()
+        near.add_edge(0, 19) if not base.has_edge(0, 19) else near.add_edge(0, 18)
+        different = erdos_renyi_graph(20, 0.2, rng=rng)
+        base_hv = encoder.encode(base)
+        assert cosine_similarity(base_hv, encoder.encode(near)) > cosine_similarity(
+            base_hv, encoder.encode(different)
+        )
+
+    def test_unnormalized_encoding_is_integer_sum(self):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(
+                dimension=DIMENSION, normalize_graph_hypervectors=False, seed=0
+            )
+        )
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        encoding = encoder.encode(triangle)
+        assert encoding.dtype == np.int64
+        assert np.abs(encoding).max() <= 3
+
+    def test_include_vertices_option_changes_encoding(self, triangle_graph):
+        plain = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        enriched = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, include_vertices=True, seed=0)
+        )
+        assert not np.array_equal(
+            plain.encode(triangle_graph), enriched.encode(triangle_graph)
+        )
+
+    def test_empty_graph_encodes_to_valid_hypervector(self, encoder):
+        hypervector = encoder.encode(Graph(3))
+        assert hypervector.shape == (DIMENSION,)
+        assert set(np.unique(hypervector)) <= {-1, 1}
+
+
+class TestEncodeMany:
+    def test_matches_single_encoding(self, encoder, small_graph_collection):
+        batch = encoder.encode_many(small_graph_collection)
+        assert batch.shape == (len(small_graph_collection), DIMENSION)
+        # Tie-breaking uses a fixed per-encoder vector, so batched and
+        # one-by-one encodings are bit-identical.
+        for index, graph in enumerate(small_graph_collection):
+            assert np.array_equal(batch[index], encoder.encode(graph))
+
+    def test_empty_input(self, encoder):
+        assert encoder.encode_many([]).shape == (0, DIMENSION)
+
+    def test_batched_pagerank_respects_batch_size(self, small_graph_collection):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, pagerank_batch_size=2, seed=0)
+        )
+        batch = encoder.encode_many(small_graph_collection)
+        assert batch.shape == (len(small_graph_collection), DIMENSION)
+
+    def test_non_pagerank_centrality_batches(self, small_graph_collection):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(dimension=DIMENSION, centrality="degree", seed=0)
+        )
+        batch = encoder.encode_many(small_graph_collection)
+        assert batch.shape == (len(small_graph_collection), DIMENSION)
+
+    def test_deterministic_across_encoders_with_same_seed(self, small_graph_collection):
+        first = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=3))
+        second = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=3))
+        assert np.array_equal(
+            first.encode_many(small_graph_collection),
+            second.encode_many(small_graph_collection),
+        )

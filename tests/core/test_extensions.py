@@ -1,0 +1,193 @@
+"""Tests for the GraphHD future-work extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.core.extensions import (
+    LabelAwareGraphHDEncoder,
+    MultiCentroidGraphHDClassifier,
+    RetrainedGraphHDClassifier,
+)
+from repro.graphs.generators import ring_of_cliques_graph, tree_graph
+from repro.graphs.graph import Graph
+
+DIMENSION = 2048
+
+
+class TestRetrainedGraphHD:
+    def test_training_accuracy_not_worse_than_plain(self, two_class_dataset):
+        from repro.core.model import GraphHDClassifier
+
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        plain = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        retrained = RetrainedGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), retrain_epochs=10
+        )
+        plain.fit(graphs, labels)
+        retrained.fit(graphs, labels)
+        assert retrained.score(graphs, labels) >= plain.score(graphs, labels) - 0.05
+
+    def test_report_available_after_fit(self, two_class_dataset):
+        model = RetrainedGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), retrain_epochs=5
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.retraining_report is not None
+        assert model.retraining_report.epochs_run >= 1
+
+    def test_zero_epochs_is_plain_graphhd(self, two_class_dataset):
+        model = RetrainedGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), retrain_epochs=0
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.retraining_report.epochs_run == 0
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            RetrainedGraphHDClassifier(retrain_epochs=-1)
+
+
+class TestMultiCentroidGraphHD:
+    @pytest.fixture
+    def multimodal_dataset(self):
+        # Class 0 has two structural modes (cliques and trees); class 1 is a
+        # third, distinct structure.  Multiple centroids should help here.
+        rng = np.random.default_rng(0)
+        graphs, labels = [], []
+        for index in range(36):
+            mode = index % 3
+            if mode == 0:
+                graph = ring_of_cliques_graph(4, 4, rng=rng, graph_label=0)
+                label = 0
+            elif mode == 1:
+                graph = tree_graph(16, max_children=2, rng=rng, graph_label=0)
+                label = 0
+            else:
+                graph = Graph(
+                    16, [(i, (i + 1) % 16) for i in range(16)], graph_label=1
+                )
+                label = 1
+            graphs.append(graph)
+            labels.append(label)
+        return graphs, labels
+
+    def test_learns_multimodal_classes(self, multimodal_dataset):
+        graphs, labels = multimodal_dataset
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), centroids_per_class=2
+        )
+        model.fit(graphs, labels)
+        assert model.score(graphs, labels) > 0.85
+
+    def test_single_centroid_matches_plain_behaviour(self, two_class_dataset):
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), centroids_per_class=1
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.score(two_class_dataset.graphs, two_class_dataset.labels) > 0.8
+
+    def test_classes_property(self, two_class_dataset):
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), centroids_per_class=2
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert set(model.classes) == {0, 1}
+
+    def test_predict_before_fit_rejected(self, two_class_dataset):
+        model = MultiCentroidGraphHDClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict(two_class_dataset.graphs)
+
+    def test_validation(self, two_class_dataset):
+        with pytest.raises(ValueError):
+            MultiCentroidGraphHDClassifier(centroids_per_class=0)
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0)
+        )
+        with pytest.raises(ValueError):
+            model.fit(two_class_dataset.graphs, two_class_dataset.labels[:-1])
+        with pytest.raises(ValueError):
+            model.fit([], [])
+
+    def test_predict_empty(self, two_class_dataset):
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0)
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.predict([]) == []
+
+    def test_more_centroids_than_samples_handled(self, two_class_dataset):
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), centroids_per_class=100
+        )
+        model.fit(two_class_dataset.graphs[:6], two_class_dataset.labels[:6])
+        predictions = model.predict(two_class_dataset.graphs[:6])
+        assert len(predictions) == 6
+
+
+class TestLabelAwareEncoder:
+    def test_unlabelled_graphs_match_structural_encoding(self, small_graph_collection):
+        structural = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        label_aware = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        for graph in small_graph_collection:
+            assert np.array_equal(structural.encode(graph), label_aware.encode(graph))
+
+    def test_vertex_labels_change_encoding(self, labelled_graph):
+        structural = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        label_aware = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        assert not np.array_equal(
+            structural.encode(labelled_graph), label_aware.encode(labelled_graph)
+        )
+
+    def test_different_labelings_encode_differently(self):
+        encoder = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        base = Graph(4, [(0, 1), (1, 2), (2, 3)], vertex_labels=["C", "C", "C", "C"])
+        other = Graph(4, [(0, 1), (1, 2), (2, 3)], vertex_labels=["N", "N", "N", "N"])
+        assert not np.array_equal(encoder.encode(base), encoder.encode(other))
+
+    def test_same_labeling_encodes_identically(self):
+        encoder = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        first = Graph(4, [(0, 1), (1, 2), (2, 3)], vertex_labels=["C", "N", "C", "O"])
+        second = Graph(4, [(0, 1), (1, 2), (2, 3)], vertex_labels=["C", "N", "C", "O"])
+        assert np.array_equal(encoder.encode(first), encoder.encode(second))
+
+    def test_edge_labels_change_encoding(self, labelled_graph):
+        encoder = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        without_edge_labels = labelled_graph.copy()
+        without_edge_labels.edge_labels = None
+        assert not np.array_equal(
+            encoder.encode(labelled_graph), encoder.encode(without_edge_labels)
+        )
+
+    def test_label_aware_improves_on_label_dependent_task(self):
+        # Two classes with identical topology but different vertex labels:
+        # only the label-aware encoder can separate them.
+        rng = np.random.default_rng(0)
+        graphs, labels = [], []
+        for index in range(30):
+            label = index % 2
+            vertex_labels = ["A"] * 8 if label == 0 else ["B"] * 8
+            graph = Graph(
+                8,
+                [(i, (i + 1) % 8) for i in range(8)],
+                vertex_labels=vertex_labels,
+                graph_label=label,
+            )
+            graphs.append(graph)
+            labels.append(label)
+
+        from repro.hdc.classifier import CentroidClassifier
+
+        structural = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        label_aware = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+
+        aware_classifier = CentroidClassifier(DIMENSION).fit(
+            label_aware.encode_many(graphs), labels
+        )
+        assert aware_classifier.score(label_aware.encode_many(graphs), labels) == 1.0
+
+        structural_encodings = structural.encode_many(graphs)
+        # All graphs are isomorphic cycles, so the structural encodings of the
+        # two classes are indistinguishable.
+        assert np.array_equal(structural_encodings[0], structural_encodings[1])

@@ -1,0 +1,110 @@
+"""Tests for the GraphHD classifier (Algorithm 1 + inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+
+DIMENSION = 2048
+
+
+@pytest.fixture
+def model():
+    return GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+
+
+class TestFitPredict:
+    def test_learns_separable_dataset(self, model, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model.fit(graphs[:20], labels[:20])
+        assert model.score(graphs[20:], labels[20:]) > 0.8
+
+    def test_learns_density_contrast(self, random_graph_dataset):
+        model = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        graphs, labels = random_graph_dataset.graphs, random_graph_dataset.labels
+        model.fit(graphs, labels)
+        assert model.score(graphs, labels) > 0.7
+
+    def test_classes_property(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert set(model.classes) == {0, 1}
+
+    def test_predict_one(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        prediction = model.predict_one(two_class_dataset.graphs[0])
+        assert prediction in (0, 1)
+
+    def test_predict_empty_list(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.predict([]) == []
+
+    def test_decision_scores_shape(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        scores, classes = model.decision_scores(two_class_dataset.graphs[:5])
+        assert scores.shape == (5, 2)
+        assert set(classes) == {0, 1}
+
+    def test_encode_exposed(self, model, two_class_dataset):
+        encodings = model.encode(two_class_dataset.graphs[:3])
+        assert encodings.shape == (3, DIMENSION)
+
+    def test_validation(self, model, two_class_dataset):
+        with pytest.raises(ValueError):
+            model.fit(two_class_dataset.graphs, two_class_dataset.labels[:-1])
+        with pytest.raises(ValueError):
+            model.fit([], [])
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        with pytest.raises(ValueError):
+            model.score([], [])
+
+    def test_timings_recorded(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        model.predict(two_class_dataset.graphs)
+        assert model.timings.training_seconds > 0
+        assert model.timings.encoding_seconds > 0
+        assert model.timings.inference_seconds > 0
+        assert model.timings.encoding_seconds <= model.timings.training_seconds
+
+    def test_hamming_metric_supported(self, two_class_dataset):
+        model = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), metric="hamming"
+        )
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.score(two_class_dataset.graphs, two_class_dataset.labels) > 0.7
+
+
+class TestOnlineLearning:
+    def test_partial_fit_builds_model(self, two_class_dataset):
+        model = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        for graph, label in zip(two_class_dataset.graphs, two_class_dataset.labels):
+            model.partial_fit(graph, label)
+        assert model.score(two_class_dataset.graphs, two_class_dataset.labels) > 0.8
+
+    def test_partial_fit_matches_batch_fit_distribution(self, two_class_dataset):
+        batch_model = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        online_model = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        batch_model.fit(graphs, labels)
+        for graph, label in zip(graphs, labels):
+            online_model.partial_fit(graph, label)
+        batch_predictions = batch_model.predict(graphs)
+        online_predictions = online_model.predict(graphs)
+        agreement = np.mean(
+            [b == o for b, o in zip(batch_predictions, online_predictions)]
+        )
+        assert agreement > 0.9
+
+
+class TestReproducibility:
+    def test_same_seed_same_predictions(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        first = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=1))
+        second = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=1))
+        first.fit(graphs, labels)
+        second.fit(graphs, labels)
+        assert first.predict(graphs) == second.predict(graphs)
+
+    def test_dimension_10000_default(self):
+        model = GraphHDClassifier()
+        assert model.config.dimension == 10_000

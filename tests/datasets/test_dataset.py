@@ -1,0 +1,84 @@
+"""Tests for the GraphDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import GraphDataset
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def dataset(small_graph_collection):
+    return GraphDataset("toy", small_graph_collection)
+
+
+class TestConstruction:
+    def test_requires_at_least_one_graph(self):
+        with pytest.raises(ValueError):
+            GraphDataset("empty", [])
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            GraphDataset("unlabelled", [Graph(3, [(0, 1)])])
+
+    def test_length_and_iteration(self, dataset, small_graph_collection):
+        assert len(dataset) == len(small_graph_collection)
+        assert list(dataset) == small_graph_collection
+
+
+class TestAccess:
+    def test_labels_property(self, dataset):
+        assert dataset.labels == [0, 1, 0, 1, 0, 1]
+
+    def test_classes_sorted(self, dataset):
+        assert dataset.classes == [0, 1]
+        assert dataset.num_classes == 2
+
+    def test_class_counts(self, dataset):
+        assert dataset.class_counts() == {0: 3, 1: 3}
+
+    def test_indexing_returns_graph(self, dataset, small_graph_collection):
+        assert dataset[0] is small_graph_collection[0]
+
+    def test_slicing_returns_dataset(self, dataset):
+        subset = dataset[:4]
+        assert isinstance(subset, GraphDataset)
+        assert len(subset) == 4
+        assert subset.name == dataset.name
+
+
+class TestSubset:
+    def test_subset_selection(self, dataset):
+        subset = dataset.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.labels == [0, 0, 0]
+
+    def test_subset_preserves_order(self, dataset):
+        subset = dataset.subset([3, 1])
+        assert subset.labels == [1, 1]
+        assert subset[0] is dataset[3]
+
+    def test_empty_subset_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.subset([])
+
+
+class TestUtilities:
+    def test_statistics(self, dataset):
+        stats = dataset.statistics()
+        assert stats.num_graphs == len(dataset)
+        assert stats.num_classes == 2
+
+    def test_shuffled_preserves_content(self, dataset):
+        shuffled = dataset.shuffled(rng=0)
+        assert len(shuffled) == len(dataset)
+        assert sorted(shuffled.labels) == sorted(dataset.labels)
+
+    def test_shuffled_changes_order(self, dataset):
+        shuffled = dataset.shuffled(rng=0)
+        assert [id(g) for g in shuffled] != [id(g) for g in dataset]
+
+    def test_shuffled_reproducible(self, dataset):
+        first = dataset.shuffled(rng=3)
+        second = dataset.shuffled(rng=3)
+        assert [id(g) for g in first] == [id(g) for g in second]

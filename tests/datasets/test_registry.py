@@ -1,0 +1,51 @@
+"""Tests for the dataset registry."""
+
+import os
+
+import pytest
+
+from repro.datasets.registry import TUDATASET_ROOT_ENV, available_datasets, load_dataset
+from repro.datasets.tudataset import save_tudataset
+from repro.datasets.synthetic import make_benchmark_dataset
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert available_datasets() == ["DD", "ENZYMES", "MUTAG", "NCI1", "PROTEINS", "PTC_FM"]
+
+    def test_load_synthetic_by_default(self):
+        dataset = load_dataset("MUTAG", scale=0.2, seed=0)
+        assert dataset.name == "MUTAG"
+        assert len(dataset) > 10
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("REDDIT")
+
+    def test_case_insensitive(self):
+        dataset = load_dataset("ptc_fm", scale=0.2, seed=0)
+        assert dataset.name == "PTC_FM"
+
+    def test_loads_real_data_when_available(self, tmp_path, monkeypatch):
+        # Write a tiny dataset in TUDataset format and point the registry at it.
+        original = make_benchmark_dataset("MUTAG", scale=0.05, seed=1)
+        directory = tmp_path / "MUTAG"
+        directory.mkdir()
+        save_tudataset(original, str(directory), "MUTAG")
+        monkeypatch.setenv(TUDATASET_ROOT_ENV, str(tmp_path))
+        loaded = load_dataset("MUTAG")
+        assert len(loaded) == len(original)
+
+    def test_prefer_real_false_ignores_env(self, tmp_path, monkeypatch):
+        original = make_benchmark_dataset("MUTAG", scale=0.05, seed=1)
+        directory = tmp_path / "MUTAG"
+        directory.mkdir()
+        save_tudataset(original, str(directory), "MUTAG")
+        monkeypatch.setenv(TUDATASET_ROOT_ENV, str(tmp_path))
+        synthetic = load_dataset("MUTAG", scale=0.1, seed=0, prefer_real=False)
+        assert len(synthetic) != len(original)
+
+    def test_missing_real_data_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUDATASET_ROOT_ENV, str(tmp_path))
+        dataset = load_dataset("ENZYMES", scale=0.1, seed=0)
+        assert dataset.name == "ENZYMES"

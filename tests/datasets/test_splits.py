@@ -1,0 +1,121 @@
+"""Tests for the stratified K-fold splitter and the train/test split."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import StratifiedKFold, train_test_split
+
+
+def make_labels(per_class: dict) -> list:
+    labels = []
+    for label, count in per_class.items():
+        labels.extend([label] * count)
+    rng = np.random.default_rng(0)
+    rng.shuffle(labels)
+    return labels
+
+
+class TestStratifiedKFold:
+    def test_every_sample_in_exactly_one_test_fold(self):
+        labels = make_labels({0: 30, 1: 20})
+        splitter = StratifiedKFold(5, seed=0)
+        seen = []
+        for _, test_indices in splitter.split(labels):
+            seen.extend(test_indices.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_train_and_test_disjoint(self):
+        labels = make_labels({0: 25, 1: 25})
+        for train_indices, test_indices in StratifiedKFold(5, seed=0).split(labels):
+            assert set(train_indices).isdisjoint(set(test_indices))
+            assert len(train_indices) + len(test_indices) == 50
+
+    def test_stratification_preserved(self):
+        labels = make_labels({"a": 40, "b": 20})
+        for _, test_indices in StratifiedKFold(10, seed=0).split(labels):
+            test_labels = [labels[i] for i in test_indices]
+            assert test_labels.count("a") == 4
+            assert test_labels.count("b") == 2
+
+    def test_number_of_folds(self):
+        labels = make_labels({0: 15, 1: 15})
+        splits = list(StratifiedKFold(3, seed=0).split(labels))
+        assert len(splits) == 3
+        assert StratifiedKFold(3).get_n_splits() == 3
+
+    def test_class_smaller_than_folds_rejected(self):
+        labels = make_labels({0: 20, 1: 3})
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(5, seed=0).split(labels))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(10, seed=0).split([0, 1, 0]))
+
+    def test_at_least_two_folds_required(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+
+    def test_reproducible_with_seed(self):
+        labels = make_labels({0: 20, 1: 20})
+        first = [test.tolist() for _, test in StratifiedKFold(4, seed=9).split(labels)]
+        second = [test.tolist() for _, test in StratifiedKFold(4, seed=9).split(labels)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        labels = make_labels({0: 20, 1: 20})
+        first = [test.tolist() for _, test in StratifiedKFold(4, seed=1).split(labels)]
+        second = [test.tolist() for _, test in StratifiedKFold(4, seed=2).split(labels)]
+        assert first != second
+
+    def test_no_shuffle_is_deterministic(self):
+        labels = make_labels({0: 12, 1: 12})
+        first = [test.tolist() for _, test in StratifiedKFold(3, shuffle=False).split(labels)]
+        second = [test.tolist() for _, test in StratifiedKFold(3, shuffle=False).split(labels)]
+        assert first == second
+
+    def test_ten_folds_like_the_paper(self):
+        labels = make_labels({0: 100, 1: 88})
+        folds = list(StratifiedKFold(10, seed=0).split(labels))
+        assert len(folds) == 10
+        test_sizes = [len(test) for _, test in folds]
+        assert max(test_sizes) - min(test_sizes) <= 2
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        labels = make_labels({0: 40, 1: 40})
+        train_indices, test_indices = train_test_split(labels, test_fraction=0.25, seed=0)
+        assert len(train_indices) + len(test_indices) == 80
+        assert set(train_indices).isdisjoint(set(test_indices))
+
+    def test_fraction_respected(self):
+        labels = make_labels({0: 50, 1: 50})
+        _, test_indices = train_test_split(labels, test_fraction=0.2, seed=0)
+        assert len(test_indices) == 20
+
+    def test_stratified(self):
+        labels = make_labels({"a": 30, "b": 60})
+        _, test_indices = train_test_split(labels, test_fraction=0.2, seed=0)
+        test_labels = [labels[i] for i in test_indices]
+        assert test_labels.count("a") == 6
+        assert test_labels.count("b") == 12
+
+    def test_every_class_represented_in_train(self):
+        labels = make_labels({0: 3, 1: 3})
+        train_indices, _ = train_test_split(labels, test_fraction=0.4, seed=0)
+        train_labels = {labels[i] for i in train_indices}
+        assert train_labels == {0, 1}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([0, 1], test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split([0, 1], test_fraction=1.0)
+
+    def test_reproducible(self):
+        labels = make_labels({0: 20, 1: 20})
+        first = train_test_split(labels, seed=4)
+        second = train_test_split(labels, seed=4)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])

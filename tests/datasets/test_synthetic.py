@@ -1,0 +1,146 @@
+"""Tests for the synthetic benchmark dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DATASET_SPECS,
+    ClassArchetype,
+    SyntheticDatasetSpec,
+    make_all_benchmark_datasets,
+    make_benchmark_dataset,
+    make_scaling_dataset,
+)
+
+
+class TestSpecs:
+    def test_all_six_paper_datasets_present(self):
+        assert set(DATASET_SPECS) == {
+            "DD",
+            "ENZYMES",
+            "MUTAG",
+            "NCI1",
+            "PROTEINS",
+            "PTC_FM",
+        }
+
+    def test_table1_statistics_match_paper(self):
+        # Graph counts, class counts and average sizes from Table I.
+        assert DATASET_SPECS["DD"].num_graphs == 1178
+        assert DATASET_SPECS["DD"].num_classes == 2
+        assert DATASET_SPECS["ENZYMES"].num_classes == 6
+        assert DATASET_SPECS["MUTAG"].num_graphs == 188
+        assert DATASET_SPECS["NCI1"].num_graphs == 4110
+        assert DATASET_SPECS["PROTEINS"].avg_vertices == pytest.approx(39.06)
+        assert DATASET_SPECS["PTC_FM"].avg_edges == pytest.approx(14.48)
+
+    def test_archetype_count_matches_classes(self):
+        for spec in DATASET_SPECS.values():
+            assert len(spec.archetypes) == spec.num_classes
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetSpec(
+                name="BAD",
+                num_graphs=10,
+                num_classes=2,
+                avg_vertices=10,
+                avg_edges=10,
+                archetypes=[ClassArchetype("tree")],
+            )
+
+
+class TestBenchmarkGeneration:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            make_benchmark_dataset("IMDB")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_benchmark_dataset("MUTAG", scale=0.0)
+
+    def test_scaled_graph_count(self):
+        dataset = make_benchmark_dataset("MUTAG", scale=0.5, seed=0)
+        assert len(dataset) == pytest.approx(94, abs=1)
+
+    def test_case_insensitive_name(self):
+        dataset = make_benchmark_dataset("mutag", scale=0.2, seed=0)
+        assert dataset.name == "MUTAG"
+
+    def test_class_count_matches_spec(self):
+        dataset = make_benchmark_dataset("ENZYMES", scale=0.2, seed=0)
+        assert dataset.num_classes == 6
+
+    def test_reproducible(self):
+        first = make_benchmark_dataset("PTC_FM", scale=0.3, seed=5)
+        second = make_benchmark_dataset("PTC_FM", scale=0.3, seed=5)
+        assert [g.edges() for g in first] == [g.edges() for g in second]
+        assert first.labels == second.labels
+
+    def test_different_seeds_differ(self):
+        first = make_benchmark_dataset("PTC_FM", scale=0.3, seed=1)
+        second = make_benchmark_dataset("PTC_FM", scale=0.3, seed=2)
+        assert [g.edges() for g in first] != [g.edges() for g in second]
+
+    def test_average_vertices_close_to_table1(self):
+        dataset = make_benchmark_dataset("PROTEINS", scale=0.3, seed=0)
+        stats = dataset.statistics()
+        spec = DATASET_SPECS["PROTEINS"]
+        assert abs(stats.avg_vertices - spec.avg_vertices) / spec.avg_vertices < 0.35
+
+    def test_average_edges_close_to_table1(self):
+        dataset = make_benchmark_dataset("ENZYMES", scale=0.3, seed=0)
+        stats = dataset.statistics()
+        spec = DATASET_SPECS["ENZYMES"]
+        assert abs(stats.avg_edges - spec.avg_edges) / spec.avg_edges < 0.6
+
+    def test_classes_are_balanced(self):
+        dataset = make_benchmark_dataset("MUTAG", scale=0.5, seed=0)
+        counts = dataset.class_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_vertex_labels_assigned(self):
+        dataset = make_benchmark_dataset("MUTAG", scale=0.2, seed=0)
+        assert all(graph.vertex_labels is not None for graph in dataset)
+
+    def test_graphs_have_edges(self):
+        dataset = make_benchmark_dataset("NCI1", scale=0.02, seed=0)
+        assert all(graph.num_edges > 0 for graph in dataset)
+
+    def test_make_all(self):
+        datasets = make_all_benchmark_datasets(scale=0.02, seed=0)
+        assert set(datasets) == set(DATASET_SPECS)
+        for name, dataset in datasets.items():
+            assert dataset.name == name
+
+
+class TestScalingDataset:
+    def test_size_and_classes(self):
+        dataset = make_scaling_dataset(50, num_graphs=40, seed=0)
+        assert len(dataset) == 40
+        assert dataset.num_classes == 2
+
+    def test_classes_evenly_split(self):
+        dataset = make_scaling_dataset(30, num_graphs=100, seed=0)
+        counts = dataset.class_counts()
+        assert counts[0] == counts[1] == 50
+
+    def test_vertex_count(self):
+        dataset = make_scaling_dataset(75, num_graphs=10, seed=0)
+        assert all(graph.num_vertices == 75 for graph in dataset)
+
+    def test_density_close_to_edge_probability(self):
+        dataset = make_scaling_dataset(100, num_graphs=20, edge_probability=0.05, seed=0)
+        stats = dataset.statistics()
+        assert 0.02 < stats.avg_density < 0.09
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_scaling_dataset(0)
+        with pytest.raises(ValueError):
+            make_scaling_dataset(10, num_graphs=1)
+
+    def test_reproducible(self):
+        first = make_scaling_dataset(20, num_graphs=10, seed=3)
+        second = make_scaling_dataset(20, num_graphs=10, seed=3)
+        assert [g.edges() for g in first] == [g.edges() for g in second]

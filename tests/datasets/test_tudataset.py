@@ -1,0 +1,124 @@
+"""Tests for the TUDataset-format reader and writer."""
+
+import os
+
+import pytest
+
+from repro.datasets.dataset import GraphDataset
+from repro.datasets.synthetic import make_benchmark_dataset
+from repro.datasets.tudataset import load_tudataset, save_tudataset
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def labelled_dataset():
+    graphs = [
+        Graph(
+            3,
+            [(0, 1), (1, 2)],
+            vertex_labels=[1, 2, 1],
+            edge_labels={(0, 1): 0, (1, 2): 1},
+            graph_label=1,
+        ),
+        Graph(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            vertex_labels=[2, 2, 1, 1],
+            edge_labels={(0, 1): 1, (1, 2): 1, (2, 3): 0, (0, 3): 0},
+            graph_label=2,
+        ),
+    ]
+    return GraphDataset("TOY", graphs)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, labelled_dataset, tmp_path):
+        save_tudataset(labelled_dataset, str(tmp_path), "TOY")
+        loaded = load_tudataset(str(tmp_path), "TOY")
+        assert len(loaded) == len(labelled_dataset)
+        for original, reloaded in zip(labelled_dataset, loaded):
+            assert reloaded.num_vertices == original.num_vertices
+            assert reloaded.edges() == original.edges()
+            assert reloaded.vertex_labels == original.vertex_labels
+            assert reloaded.edge_labels == original.edge_labels
+            assert reloaded.graph_label == original.graph_label
+
+    def test_roundtrip_without_labels(self, tmp_path):
+        graphs = [
+            Graph(3, [(0, 1), (1, 2)], graph_label=0),
+            Graph(2, [(0, 1)], graph_label=1),
+        ]
+        dataset = GraphDataset("PLAIN", graphs)
+        save_tudataset(dataset, str(tmp_path), "PLAIN")
+        loaded = load_tudataset(str(tmp_path), "PLAIN")
+        assert loaded[0].vertex_labels is None
+        assert loaded[0].edge_labels is None
+        assert [g.graph_label for g in loaded] == [0, 1]
+
+    def test_roundtrip_synthetic_benchmark(self, tmp_path):
+        dataset = make_benchmark_dataset("PTC_FM", scale=0.1, seed=0)
+        save_tudataset(dataset, str(tmp_path), "PTC_FM")
+        loaded = load_tudataset(str(tmp_path), "PTC_FM")
+        assert len(loaded) == len(dataset)
+        assert [g.num_edges for g in loaded] == [g.num_edges for g in dataset]
+
+    def test_default_name_from_directory(self, labelled_dataset, tmp_path):
+        directory = tmp_path / "TOY"
+        directory.mkdir()
+        save_tudataset(labelled_dataset, str(directory), "TOY")
+        loaded = load_tudataset(str(directory))
+        assert loaded.name == "TOY"
+
+
+class TestWriter:
+    def test_files_created(self, labelled_dataset, tmp_path):
+        prefix = save_tudataset(labelled_dataset, str(tmp_path), "TOY")
+        assert os.path.exists(f"{prefix}_A.txt")
+        assert os.path.exists(f"{prefix}_graph_indicator.txt")
+        assert os.path.exists(f"{prefix}_graph_labels.txt")
+        assert os.path.exists(f"{prefix}_node_labels.txt")
+        assert os.path.exists(f"{prefix}_edge_labels.txt")
+
+    def test_adjacency_has_both_directions(self, labelled_dataset, tmp_path):
+        prefix = save_tudataset(labelled_dataset, str(tmp_path), "TOY")
+        with open(f"{prefix}_A.txt") as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+        total_edges = sum(graph.num_edges for graph in labelled_dataset)
+        assert len(lines) == 2 * total_edges
+
+    def test_indicator_is_one_based(self, labelled_dataset, tmp_path):
+        prefix = save_tudataset(labelled_dataset, str(tmp_path), "TOY")
+        with open(f"{prefix}_graph_indicator.txt") as handle:
+            values = [int(line) for line in handle if line.strip()]
+        assert min(values) == 1
+        assert max(values) == len(labelled_dataset)
+
+
+class TestReaderErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_tudataset(str(tmp_path), "MISSING")
+
+    def test_cross_graph_edge_rejected(self, tmp_path):
+        prefix = tmp_path / "BAD"
+        (tmp_path / "BAD_A.txt").write_text("1, 3\n3, 1\n")
+        (tmp_path / "BAD_graph_indicator.txt").write_text("1\n1\n2\n")
+        (tmp_path / "BAD_graph_labels.txt").write_text("0\n1\n")
+        with pytest.raises(ValueError):
+            load_tudataset(str(tmp_path), "BAD")
+
+    def test_node_label_count_mismatch_rejected(self, tmp_path):
+        (tmp_path / "BAD_A.txt").write_text("1, 2\n2, 1\n")
+        (tmp_path / "BAD_graph_indicator.txt").write_text("1\n1\n")
+        (tmp_path / "BAD_graph_labels.txt").write_text("0\n")
+        (tmp_path / "BAD_node_labels.txt").write_text("1\n")
+        with pytest.raises(ValueError):
+            load_tudataset(str(tmp_path), "BAD")
+
+    def test_whitespace_separator_supported(self, tmp_path):
+        (tmp_path / "WS_A.txt").write_text("1 2\n2 1\n")
+        (tmp_path / "WS_graph_indicator.txt").write_text("1\n1\n")
+        (tmp_path / "WS_graph_labels.txt").write_text("7\n")
+        loaded = load_tudataset(str(tmp_path), "WS")
+        assert loaded[0].num_edges == 1
+        assert loaded[0].graph_label == 7

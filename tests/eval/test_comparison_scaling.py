@@ -1,0 +1,140 @@
+"""Tests for the Figure 3 comparison runner and the Figure 4 scaling sweep."""
+
+import pytest
+
+from repro.datasets.dataset import GraphDataset
+from repro.eval.comparison import ComparisonResult, compare_methods
+from repro.eval.cross_validation import CrossValidationResult, FoldResult
+from repro.eval.scaling import scaling_experiment
+
+
+def make_result(dataset, method, accuracy, train_seconds, inference_seconds):
+    result = CrossValidationResult(method=method, dataset=dataset)
+    result.folds.append(
+        FoldResult(
+            fold=0,
+            repetition=0,
+            accuracy=accuracy,
+            train_seconds=train_seconds,
+            test_seconds=inference_seconds * 10,
+            num_train_graphs=90,
+            num_test_graphs=10,
+        )
+    )
+    return result
+
+
+@pytest.fixture
+def synthetic_comparison():
+    comparison = ComparisonResult()
+    values = {
+        ("A", "GraphHD"): (0.7, 1.0, 0.01),
+        ("A", "GIN-e"): (0.72, 10.0, 0.02),
+        ("A", "WL-OA"): (0.75, 20.0, 0.2),
+        ("B", "GraphHD"): (0.6, 2.0, 0.01),
+        ("B", "GIN-e"): (0.62, 30.0, 0.02),
+        ("B", "WL-OA"): (0.66, 10.0, 0.05),
+    }
+    for (dataset, method), (accuracy, train, infer) in values.items():
+        comparison.results[(dataset, method)] = make_result(
+            dataset, method, accuracy, train, infer
+        )
+    return comparison
+
+
+class TestComparisonResult:
+    def test_datasets_and_methods(self, synthetic_comparison):
+        assert synthetic_comparison.datasets() == ["A", "B"]
+        assert synthetic_comparison.methods() == ["GraphHD", "GIN-e", "WL-OA"]
+
+    def test_accuracy_table(self, synthetic_comparison):
+        table = synthetic_comparison.accuracy_table()
+        assert table["A"]["GraphHD"] == pytest.approx(0.7)
+        assert table["B"]["WL-OA"] == pytest.approx(0.66)
+
+    def test_training_time_table(self, synthetic_comparison):
+        table = synthetic_comparison.training_time_table()
+        assert table["A"]["GIN-e"] == pytest.approx(10.0)
+
+    def test_inference_time_table(self, synthetic_comparison):
+        table = synthetic_comparison.inference_time_table()
+        assert table["A"]["WL-OA"] == pytest.approx(0.2)
+
+    def test_speedups_geometric_mean(self, synthetic_comparison):
+        speedups = synthetic_comparison.speedup_over(["GIN-e", "WL-OA"], metric="train")
+        # GIN-e: ratios 10 and 15 -> geometric mean sqrt(150).
+        assert speedups["GIN-e"] == pytest.approx((10 * 15) ** 0.5)
+        assert speedups["WL-OA"] == pytest.approx((20 * 5) ** 0.5)
+
+    def test_inference_speedups(self, synthetic_comparison):
+        speedups = synthetic_comparison.speedup_over(["GIN-e"], metric="inference")
+        assert speedups["GIN-e"] == pytest.approx(2.0)
+
+    def test_invalid_metric_rejected(self, synthetic_comparison):
+        with pytest.raises(ValueError):
+            synthetic_comparison.speedup_over(["GIN-e"], metric="accuracy")
+
+    def test_get(self, synthetic_comparison):
+        result = synthetic_comparison.get("A", "GraphHD")
+        assert result.method == "GraphHD"
+
+
+class TestCompareMethods:
+    def test_small_run(self, two_class_dataset):
+        comparison = compare_methods(
+            [two_class_dataset],
+            methods=("GraphHD", "1-WL"),
+            fast=True,
+            n_splits=3,
+            repetitions=1,
+            seed=0,
+            dimension=1024,
+        )
+        assert len(comparison.results) == 2
+        accuracy = comparison.accuracy_table()[two_class_dataset.name]
+        assert accuracy["GraphHD"] > 0.7
+        assert accuracy["1-WL"] > 0.7
+
+    def test_max_folds_limits_work(self, two_class_dataset):
+        comparison = compare_methods(
+            [two_class_dataset],
+            methods=("GraphHD",),
+            fast=True,
+            n_splits=5,
+            repetitions=1,
+            max_folds_per_repetition=2,
+            seed=0,
+            dimension=1024,
+        )
+        result = comparison.get(two_class_dataset.name, "GraphHD")
+        assert len(result.folds) == 2
+
+
+class TestScalingExperiment:
+    def test_points_and_methods(self):
+        points = scaling_experiment(
+            [20, 40],
+            methods=("GraphHD",),
+            num_graphs=20,
+            fast=True,
+            seed=0,
+            dimension=1024,
+        )
+        assert len(points) == 2
+        assert points[0].num_vertices == 20
+        assert "GraphHD" in points[0].train_seconds
+        assert points[0].train_seconds["GraphHD"] > 0
+        assert 0.0 <= points[0].accuracy["GraphHD"] <= 1.0
+
+    def test_training_time_grows_with_graph_size(self):
+        points = scaling_experiment(
+            [20, 160],
+            methods=("GraphHD",),
+            num_graphs=20,
+            fast=True,
+            seed=0,
+            dimension=1024,
+        )
+        assert (
+            points[1].train_seconds["GraphHD"] > points[0].train_seconds["GraphHD"] * 0.5
+        )

@@ -1,0 +1,108 @@
+"""Tests for the cross-validation harness."""
+
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
+
+
+def graphhd_factory():
+    return GraphHDClassifier(GraphHDConfig(dimension=1024, seed=0))
+
+
+class TestFoldResult:
+    def test_inference_time_per_graph(self):
+        fold = FoldResult(
+            fold=0,
+            repetition=0,
+            accuracy=0.9,
+            train_seconds=1.0,
+            test_seconds=0.5,
+            num_train_graphs=90,
+            num_test_graphs=10,
+        )
+        assert fold.inference_seconds_per_graph == pytest.approx(0.05)
+
+    def test_zero_test_graphs(self):
+        fold = FoldResult(0, 0, 0.0, 1.0, 0.5, 10, 0)
+        assert fold.inference_seconds_per_graph == 0.0
+
+
+class TestCrossValidate:
+    def test_full_protocol_fold_count(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            method_name="GraphHD",
+            n_splits=5,
+            repetitions=2,
+            seed=0,
+        )
+        assert len(result.folds) == 10
+        assert result.method == "GraphHD"
+        assert result.dataset == two_class_dataset.name
+
+    def test_accuracy_on_separable_data(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+        )
+        assert result.mean_accuracy > 0.8
+        assert 0.0 <= result.std_accuracy <= 0.5
+
+    def test_timings_positive(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        assert result.mean_train_seconds > 0
+        assert result.mean_test_seconds > 0
+        assert result.mean_inference_seconds_per_graph > 0
+
+    def test_max_folds_per_repetition(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=2,
+            max_folds_per_repetition=2,
+            seed=0,
+        )
+        assert len(result.folds) == 4
+
+    def test_summary_keys(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        summary = result.summary()
+        for key in (
+            "method",
+            "dataset",
+            "accuracy_mean",
+            "accuracy_std",
+            "train_seconds",
+            "inference_seconds_per_graph",
+            "folds",
+        ):
+            assert key in summary
+
+    def test_invalid_repetitions(self, two_class_dataset):
+        with pytest.raises(ValueError):
+            cross_validate(graphhd_factory, two_class_dataset, repetitions=0)
+
+    def test_fresh_model_per_fold(self, two_class_dataset):
+        created = []
+
+        def counting_factory():
+            model = graphhd_factory()
+            created.append(model)
+            return model
+
+        cross_validate(
+            counting_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        assert len(created) == 5
+        assert len({id(model) for model in created}) == 5

@@ -1,0 +1,71 @@
+"""Tests for the method factory."""
+
+import pytest
+
+from repro.core.model import GraphHDClassifier
+from repro.eval.methods import METHOD_NAMES, make_method
+from repro.kernels.base import KernelClassifier
+from repro.kernels.wl_optimal_assignment import WLOptimalAssignmentKernel
+from repro.kernels.wl_subtree import WLSubtreeKernel
+from repro.nn.training import GNNTrainer
+
+
+class TestFactory:
+    def test_method_names_match_figure3(self):
+        assert METHOD_NAMES == ("GraphHD", "1-WL", "WL-OA", "GIN-e", "GIN-e-JK")
+
+    def test_graphhd(self):
+        model = make_method("GraphHD", dimension=2048)
+        assert isinstance(model, GraphHDClassifier)
+        assert model.config.dimension == 2048
+
+    def test_graphhd_default_dimension_matches_paper(self):
+        assert make_method("GraphHD").config.dimension == 10_000
+
+    def test_wl_subtree(self):
+        model = make_method("1-WL")
+        assert isinstance(model, KernelClassifier)
+        assert isinstance(model.kernel_template, WLSubtreeKernel)
+        assert model.c_grid == tuple(10.0**e for e in range(-3, 4))
+
+    def test_wl_oa(self):
+        model = make_method("WL-OA")
+        assert isinstance(model, KernelClassifier)
+        assert isinstance(model.kernel_template, WLOptimalAssignmentKernel)
+
+    def test_gin(self):
+        model = make_method("GIN-e")
+        assert isinstance(model, GNNTrainer)
+        assert model.variant == "gin"
+        assert model.config.hidden_features == 32
+        assert model.config.num_layers == 1
+
+    def test_gin_jk(self):
+        model = make_method("GIN-e-JK")
+        assert isinstance(model, GNNTrainer)
+        assert model.variant == "gin-jk"
+
+    def test_aliases(self):
+        assert isinstance(make_method("gin-eps"), GNNTrainer)
+        assert isinstance(make_method("WL"), KernelClassifier)
+        assert isinstance(make_method("graphhd"), GraphHDClassifier)
+
+    def test_fast_mode_reduces_cost(self):
+        slow = make_method("GIN-e")
+        fast = make_method("GIN-e", fast=True)
+        assert fast.config.epochs < slow.config.epochs
+        fast_kernel = make_method("1-WL", fast=True)
+        assert len(fast_kernel.c_grid) < 7
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_method("GCN")
+
+    def test_every_method_fits_and_predicts(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        for name in METHOD_NAMES:
+            model = make_method(name, fast=True, seed=0, dimension=1024)
+            model.fit(graphs[:20], labels[:20])
+            predictions = model.predict(graphs[20:])
+            assert len(predictions) == 10
+            assert set(predictions) <= {0, 1}

@@ -1,0 +1,83 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1_score,
+    per_class_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 0, 1, 1]) == 0.5
+
+    def test_arbitrary_labels(self):
+        assert accuracy_score(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix, classes = confusion_matrix([0, 1, 2, 1], [0, 1, 2, 1])
+        assert classes == [0, 1, 2]
+        assert np.array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        matrix, classes = confusion_matrix(["a", "a", "b"], ["b", "a", "b"])
+        assert classes == ["a", "b"]
+        assert matrix[0, 1] == 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_explicit_class_order(self):
+        matrix, classes = confusion_matrix([1, 0], [1, 0], classes=[1, 0])
+        assert classes == [1, 0]
+        assert matrix[0, 0] == 1
+
+    def test_row_sums_match_class_counts(self):
+        true_labels = [0] * 5 + [1] * 3
+        predicted = [0, 1, 0, 0, 1, 1, 1, 0]
+        matrix, _ = confusion_matrix(true_labels, predicted)
+        assert matrix[0].sum() == 5
+        assert matrix[1].sum() == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0], [0, 1])
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        results = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert results[0] == pytest.approx(0.5)
+        assert results[1] == pytest.approx(1.0)
+
+    def test_unseen_class_gets_zero(self):
+        results = per_class_accuracy([0, 0], [1, 1])
+        assert results[0] == 0.0
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1_score([0, 1, 0], [0, 1, 0]) == pytest.approx(1.0)
+
+    def test_balanced_errors(self):
+        score = macro_f1_score([0, 0, 1, 1], [0, 1, 0, 1])
+        assert score == pytest.approx(0.5)
+
+    def test_all_wrong(self):
+        assert macro_f1_score([0, 1], [1, 0]) == 0.0

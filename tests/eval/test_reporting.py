@@ -1,0 +1,64 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.eval.reporting import render_panel, render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["name", "value"], [["a", 1], ["b", 2]])
+        assert "name" in text
+        assert "value" in text
+        assert "a" in text
+        assert "2" in text
+
+    def test_title_included(self):
+        text = render_table(["x"], [[1]], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[0]) <= len(lines[-1])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456], [1.2e-7]])
+        assert "0.1235" in text
+        assert "e-07" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderPanel:
+    def test_datasets_as_rows_methods_as_columns(self):
+        panel = {
+            "MUTAG": {"GraphHD": 0.8, "1-WL": 0.85},
+            "DD": {"GraphHD": 0.7},
+        }
+        text = render_panel(panel, title="accuracy", value_name="mean")
+        assert "MUTAG" in text
+        assert "GraphHD" in text
+        assert "1-WL" in text
+        # Missing value rendered as a dash.
+        assert "-" in text
+
+
+class TestRenderSeries:
+    def test_series_table(self):
+        text = render_series(
+            [10, 20],
+            {"GraphHD": [0.1, 0.2], "WL-OA": [1.0, 3.0]},
+            x_name="vertices",
+            title="Figure 4",
+        )
+        assert "Figure 4" in text
+        assert "vertices" in text
+        assert "GraphHD" in text
+        assert "WL-OA" in text
+
+    def test_short_series_padded_with_dash(self):
+        text = render_series([1, 2], {"m": [0.5]})
+        assert "-" in text

@@ -1,0 +1,156 @@
+"""Tests for the robustness evaluation module."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.robustness import (
+    RobustnessCurve,
+    RobustnessPoint,
+    corrupt_class_vectors,
+    corrupt_gnn_weights,
+    gnn_robustness_curve,
+    graphhd_robustness_curve,
+)
+from repro.nn.training import GNNTrainer, TrainingConfig
+
+DIMENSION = 2048
+
+
+def graphhd_factory():
+    return GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+
+
+@pytest.fixture
+def split_dataset(two_class_dataset):
+    graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+    return graphs[:20], labels[:20], graphs[20:], labels[20:]
+
+
+class TestRobustnessCurve:
+    def test_accuracy_at_nearest_fraction(self):
+        curve = RobustnessCurve(
+            "m",
+            [RobustnessPoint(0.0, 0.9), RobustnessPoint(0.2, 0.8), RobustnessPoint(0.5, 0.6)],
+        )
+        assert curve.accuracy_at(0.19) == 0.8
+        assert curve.accuracy_at(0.0) == 0.9
+        assert curve.degradation() == pytest.approx(0.3)
+        assert curve.fractions == [0.0, 0.2, 0.5]
+        assert curve.accuracies == [0.9, 0.8, 0.6]
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            RobustnessCurve("m").degradation()
+        with pytest.raises(ValueError):
+            RobustnessCurve("m").accuracy_at(0.1)
+
+
+class TestCorruptClassVectors:
+    def test_zero_fraction_is_noop(self, split_dataset):
+        train_graphs, train_labels, test_graphs, test_labels = split_dataset
+        model = graphhd_factory()
+        model.fit(train_graphs, train_labels)
+        before = {
+            label: model.classifier.memory._accumulators[label].copy()
+            for label in model.classes
+        }
+        corrupt_class_vectors(model, 0.0, rng=0)
+        for label in model.classes:
+            assert np.array_equal(
+                before[label], model.classifier.memory._accumulators[label]
+            )
+
+    def test_full_corruption_flips_everything(self, split_dataset):
+        train_graphs, train_labels, _, _ = split_dataset
+        model = graphhd_factory()
+        model.fit(train_graphs, train_labels)
+        before = {
+            label: model.classifier.memory._accumulators[label].copy()
+            for label in model.classes
+        }
+        corrupt_class_vectors(model, 1.0, rng=0)
+        for label in model.classes:
+            assert np.array_equal(
+                -before[label], model.classifier.memory._accumulators[label]
+            )
+
+    def test_invalid_fraction_rejected(self, split_dataset):
+        train_graphs, train_labels, _, _ = split_dataset
+        model = graphhd_factory()
+        model.fit(train_graphs, train_labels)
+        with pytest.raises(ValueError):
+            corrupt_class_vectors(model, 1.5)
+
+
+class TestGraphHDRobustness:
+    def test_curve_shape_and_graceful_degradation(self, split_dataset):
+        train_graphs, train_labels, test_graphs, test_labels = split_dataset
+        curve = graphhd_robustness_curve(
+            graphhd_factory,
+            train_graphs,
+            train_labels,
+            test_graphs,
+            test_labels,
+            corruption_fractions=(0.0, 0.2, 0.45),
+            repetitions=1,
+            seed=0,
+        )
+        assert curve.model_name == "GraphHD"
+        assert curve.fractions == [0.0, 0.2, 0.45]
+        assert all(0.0 <= accuracy <= 1.0 for accuracy in curve.accuracies)
+        # Holographic representation: moderate corruption must not destroy
+        # the classifier on a clearly separable task.
+        assert curve.accuracy_at(0.0) > 0.8
+        assert curve.accuracy_at(0.2) > 0.6
+
+    def test_invalid_repetitions(self, split_dataset):
+        train_graphs, train_labels, test_graphs, test_labels = split_dataset
+        with pytest.raises(ValueError):
+            graphhd_robustness_curve(
+                graphhd_factory,
+                train_graphs,
+                train_labels,
+                test_graphs,
+                test_labels,
+                repetitions=0,
+            )
+
+
+class TestGNNRobustness:
+    def test_corrupt_weights_requires_fitted_model(self):
+        trainer = GNNTrainer("gin", TrainingConfig(epochs=1, seed=0))
+        with pytest.raises(RuntimeError):
+            corrupt_gnn_weights(trainer, 0.1)
+
+    def test_corrupt_weights_flips_components(self, split_dataset):
+        train_graphs, train_labels, _, _ = split_dataset
+        trainer = GNNTrainer(
+            "gin", TrainingConfig(epochs=2, hidden_features=8, batch_size=16, seed=0)
+        )
+        trainer.fit(train_graphs, train_labels)
+        before = [parameter.data.copy() for parameter in trainer.model.parameters()]
+        corrupt_gnn_weights(trainer, 1.0, rng=0)
+        after = [parameter.data for parameter in trainer.model.parameters()]
+        for original, corrupted in zip(before, after):
+            assert np.allclose(original, -corrupted)
+
+    def test_gnn_curve_runs(self, split_dataset):
+        train_graphs, train_labels, test_graphs, test_labels = split_dataset
+        curve = gnn_robustness_curve(
+            lambda: GNNTrainer(
+                "gin",
+                TrainingConfig(epochs=5, hidden_features=8, batch_size=16, seed=0),
+            ),
+            train_graphs,
+            train_labels,
+            test_graphs,
+            test_labels,
+            corruption_fractions=(0.0, 0.3),
+            repetitions=1,
+            seed=0,
+        )
+        assert curve.model_name == "GIN-e"
+        assert len(curve.points) == 2
+        assert all(0.0 <= accuracy <= 1.0 for accuracy in curve.accuracies)

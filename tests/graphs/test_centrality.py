@@ -1,0 +1,161 @@
+"""Tests for centrality measures (PageRank, degree, eigenvector, ranks)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.centrality import (
+    centrality_ranks,
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank,
+    pagerank_matrix,
+)
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import Graph
+
+
+class TestPageRank:
+    def test_sums_to_one(self, path_graph):
+        ranks = pagerank(path_graph)
+        assert ranks.sum() == pytest.approx(1.0)
+
+    def test_uniform_on_symmetric_graph(self, triangle_graph):
+        ranks = pagerank(triangle_graph)
+        assert np.allclose(ranks, 1.0 / 3.0)
+
+    def test_star_hub_is_most_central(self, star_graph):
+        ranks = pagerank(star_graph)
+        assert ranks.argmax() == 0
+
+    def test_empty_graph(self):
+        assert pagerank(Graph(0)).size == 0
+
+    def test_isolated_vertices_get_uniform_share(self):
+        graph = Graph(4, [(0, 1)])
+        ranks = pagerank(graph)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert np.all(ranks > 0)
+
+    def test_zero_iterations_returns_uniform(self, star_graph):
+        ranks = pagerank(star_graph, iterations=0)
+        assert np.allclose(ranks, 1.0 / star_graph.num_vertices)
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi_graph(40, 0.15, rng=0)
+        nx_graph = graph.to_networkx()
+        ours = pagerank(graph, iterations=100, tolerance=1e-12)
+        reference = nx.pagerank(nx_graph, alpha=0.85, max_iter=200, tol=1e-12)
+        reference_array = np.array([reference[v] for v in range(graph.num_vertices)])
+        assert np.allclose(ours, reference_array, atol=1e-6)
+
+    def test_damping_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            pagerank(triangle_graph, damping=1.5)
+
+    def test_iterations_validation(self, triangle_graph):
+        with pytest.raises(ValueError):
+            pagerank(triangle_graph, iterations=-1)
+
+    def test_early_stopping_with_tolerance(self, star_graph):
+        loose = pagerank(star_graph, iterations=200, tolerance=1e-3)
+        tight = pagerank(star_graph, iterations=200, tolerance=1e-14)
+        assert np.allclose(loose, tight, atol=1e-2)
+
+    def test_ten_iterations_close_to_converged(self):
+        # The paper fixes 10 iterations; on the small sparse graphs of the
+        # benchmarks that is already close to the fixed point.
+        graph = erdos_renyi_graph(30, 0.1, rng=1)
+        ten = pagerank(graph, iterations=10)
+        converged = pagerank(graph, iterations=500, tolerance=1e-14)
+        assert np.abs(ten - converged).max() < 0.01
+
+
+class TestPageRankMatrix:
+    def test_matches_per_graph_pagerank(self):
+        graphs = [erdos_renyi_graph(15 + i, 0.2, rng=i) for i in range(7)]
+        batched = pagerank_matrix(graphs, batch_size=3)
+        for graph, batch_result in zip(graphs, batched):
+            single = pagerank(graph)
+            assert np.allclose(batch_result, single, atol=1e-10)
+
+    def test_batch_size_larger_than_input(self):
+        graphs = [erdos_renyi_graph(10, 0.3, rng=i) for i in range(3)]
+        batched = pagerank_matrix(graphs, batch_size=256)
+        assert len(batched) == 3
+
+    def test_empty_graph_in_batch(self):
+        graphs = [Graph(0), erdos_renyi_graph(10, 0.3, rng=0)]
+        batched = pagerank_matrix(graphs)
+        assert batched[0].size == 0
+        assert batched[1].size == 10
+
+    def test_all_empty_batch(self):
+        batched = pagerank_matrix([Graph(0), Graph(0)])
+        assert all(result.size == 0 for result in batched)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            pagerank_matrix([Graph(1)], batch_size=0)
+
+    def test_empty_list(self):
+        assert pagerank_matrix([]) == []
+
+
+class TestDegreeCentrality:
+    def test_values(self, star_graph):
+        centrality = degree_centrality(star_graph)
+        assert centrality[0] == pytest.approx(1.0)
+        assert centrality[1] == pytest.approx(0.2)
+
+    def test_empty_and_singleton(self):
+        assert degree_centrality(Graph(0)).size == 0
+        assert degree_centrality(Graph(1))[0] == 0.0
+
+    def test_matches_networkx(self, path_graph):
+        ours = degree_centrality(path_graph)
+        reference = nx.degree_centrality(path_graph.to_networkx())
+        assert np.allclose(ours, [reference[v] for v in range(5)])
+
+
+class TestEigenvectorCentrality:
+    def test_star_hub_dominates(self, star_graph):
+        centrality = eigenvector_centrality(star_graph)
+        assert centrality.argmax() == 0
+
+    def test_uniform_on_cycle(self):
+        cycle = Graph(5, [(i, (i + 1) % 5) for i in range(5)])
+        centrality = eigenvector_centrality(cycle)
+        assert np.allclose(centrality, centrality[0])
+
+    def test_edgeless_graph(self):
+        centrality = eigenvector_centrality(Graph(3))
+        assert np.allclose(centrality, 0.0)
+
+    def test_empty_graph(self):
+        assert eigenvector_centrality(Graph(0)).size == 0
+
+
+class TestCentralityRanks:
+    def test_most_central_gets_rank_zero(self, star_graph):
+        ranks = centrality_ranks(pagerank(star_graph))
+        assert ranks[0] == 0
+
+    def test_ranks_are_a_permutation(self):
+        values = np.array([0.1, 0.5, 0.2, 0.9])
+        ranks = centrality_ranks(values)
+        assert sorted(ranks) == [0, 1, 2, 3]
+        assert ranks[3] == 0
+        assert ranks[0] == 3
+
+    def test_ties_broken_by_vertex_index(self):
+        values = np.array([0.5, 0.5, 0.5])
+        ranks = centrality_ranks(values)
+        assert list(ranks) == [0, 1, 2]
+
+    def test_deterministic(self):
+        values = np.random.default_rng(0).random(50)
+        assert np.array_equal(centrality_ranks(values), centrality_ranks(values))
+
+    def test_empty(self):
+        assert centrality_ranks(np.array([])).size == 0

@@ -1,0 +1,191 @@
+"""Tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    ring_of_cliques_graph,
+    tree_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.properties import average_clustering_coefficient, graph_density
+
+
+class TestErdosRenyi:
+    def test_vertex_count(self):
+        graph = erdos_renyi_graph(50, 0.1, rng=0)
+        assert graph.num_vertices == 50
+
+    def test_zero_probability_gives_no_edges(self):
+        graph = erdos_renyi_graph(30, 0.0, rng=0)
+        assert graph.num_edges == 0
+
+    def test_probability_one_gives_complete_graph(self):
+        graph = erdos_renyi_graph(10, 1.0, rng=0)
+        assert graph.num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_graph(100, 0.05, rng=0)
+        expected = 0.05 * 100 * 99 / 2
+        assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+    def test_reproducible(self):
+        first = erdos_renyi_graph(40, 0.1, rng=5)
+        second = erdos_renyi_graph(40, 0.1, rng=5)
+        assert first.edges() == second.edges()
+
+    def test_graph_label_passed_through(self):
+        graph = erdos_renyi_graph(5, 0.5, rng=0, graph_label="A")
+        assert graph.graph_label == "A"
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_invalid_vertex_count(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 0.5)
+
+    def test_trivial_sizes(self):
+        assert erdos_renyi_graph(0, 0.5, rng=0).num_vertices == 0
+        assert erdos_renyi_graph(1, 0.5, rng=0).num_edges == 0
+
+
+class TestPlantedPartition:
+    def test_within_community_denser(self):
+        graph = planted_partition_graph([25, 25], 0.5, 0.02, rng=0)
+        within = 0
+        between = 0
+        for u, v in graph.edges():
+            same = (u < 25) == (v < 25)
+            if same:
+                within += 1
+            else:
+                between += 1
+        assert within > between
+
+    def test_total_vertices(self):
+        graph = planted_partition_graph([10, 20, 5], 0.3, 0.05, rng=0)
+        assert graph.num_vertices == 35
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph([5, 5], 1.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition_graph([5, 5], 0.5, -0.1)
+
+    def test_negative_community_size(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph([-1, 5], 0.5, 0.1)
+
+    def test_empty_partition(self):
+        graph = planted_partition_graph([], 0.5, 0.1, rng=0)
+        assert graph.num_vertices == 0
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        graph = ring_of_cliques_graph(4, 5)
+        assert graph.num_vertices == 20
+        # Each clique has C(5,2)=10 edges plus one bridge per clique.
+        assert graph.num_edges == 4 * 10 + 4
+
+    def test_single_clique(self):
+        graph = ring_of_cliques_graph(1, 4)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 6
+
+    def test_high_clustering(self):
+        graph = ring_of_cliques_graph(5, 5)
+        assert average_clustering_coefficient(graph) > 0.5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques_graph(0, 3)
+        with pytest.raises(ValueError):
+            ring_of_cliques_graph(3, 0)
+
+
+class TestWattsStrogatz:
+    def test_vertex_count_and_connectivity(self):
+        graph = watts_strogatz_graph(30, 4, 0.1, rng=0)
+        assert graph.num_vertices == 30
+        assert graph.num_edges >= 30  # at least the ring lattice edges
+
+    def test_zero_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(10, 2, 0.0, rng=0)
+        for vertex in range(10):
+            assert graph.has_edge(vertex, (vertex + 1) % 10)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 2, 1.5)
+
+    def test_small_graphs(self):
+        assert watts_strogatz_graph(1, 2, 0.1, rng=0).num_edges == 0
+        assert watts_strogatz_graph(0, 2, 0.1, rng=0).num_vertices == 0
+
+
+class TestBarabasiAlbert:
+    def test_vertex_count(self):
+        graph = barabasi_albert_graph(50, 2, rng=0)
+        assert graph.num_vertices == 50
+
+    def test_connected(self):
+        graph = barabasi_albert_graph(40, 2, rng=0)
+        assert len(graph.connected_components()) == 1
+
+    def test_heavy_tailed_degrees(self):
+        graph = barabasi_albert_graph(200, 2, rng=0)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(-1, 2)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, 0)
+
+    def test_small_graph(self):
+        graph = barabasi_albert_graph(3, 5, rng=0)
+        assert graph.num_vertices == 3
+
+
+class TestTreeGraph:
+    def test_edge_count(self):
+        graph = tree_graph(25, rng=0)
+        assert graph.num_edges == 24
+
+    def test_connected_and_acyclic(self):
+        graph = tree_graph(30, rng=0)
+        assert len(graph.connected_components()) == 1
+        # A connected graph with n-1 edges is a tree.
+        assert graph.num_edges == graph.num_vertices - 1
+
+    def test_max_children_respected(self):
+        graph = tree_graph(40, max_children=2, rng=0)
+        # Children plus possibly one parent edge.
+        assert graph.degrees().max() <= 3
+
+    def test_trivial_sizes(self):
+        assert tree_graph(0, rng=0).num_vertices == 0
+        assert tree_graph(1, rng=0).num_edges == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            tree_graph(-2)
+        with pytest.raises(ValueError):
+            tree_graph(5, max_children=0)
+
+
+class TestDensityContrast:
+    def test_archetypes_have_distinct_structure(self):
+        """The class archetypes used by the synthetic datasets are distinguishable."""
+        rng = np.random.default_rng(0)
+        cliquey = ring_of_cliques_graph(5, 5, rng=rng)
+        tree = tree_graph(25, rng=rng)
+        assert average_clustering_coefficient(cliquey) > average_clustering_coefficient(tree)
+        assert graph_density(cliquey) > graph_density(tree)

@@ -1,0 +1,199 @@
+"""Tests for the Graph data structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.edges() == []
+
+    def test_vertices_without_edges(self):
+        graph = Graph(5)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 0
+        assert list(graph.vertices()) == [0, 1, 2, 3, 4]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_edges_from_constructor(self, triangle_graph):
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.edges() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_duplicate_edges_collapsed(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_vertex_label_count_checked(self):
+        with pytest.raises(ValueError):
+            Graph(3, vertex_labels=["a", "b"])
+
+    def test_edge_labels_canonicalized(self):
+        graph = Graph(3, [(0, 1)], edge_labels={(1, 0): "bond"})
+        assert graph.edge_labels == {(0, 1): "bond"}
+
+    def test_graph_label_stored(self):
+        graph = Graph(2, graph_label="positive")
+        assert graph.graph_label == "positive"
+
+    def test_len_and_iter(self, path_graph):
+        assert len(path_graph) == 5
+        assert list(path_graph) == [0, 1, 2, 3, 4]
+
+
+class TestMutation:
+    def test_add_edge(self):
+        graph = Graph(4)
+        graph.add_edge(0, 3)
+        assert graph.has_edge(0, 3)
+        assert graph.has_edge(3, 0)
+        assert graph.num_edges == 1
+
+    def test_add_edge_out_of_range(self):
+        graph = Graph(3)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            graph.add_edge(-1, 1)
+
+    def test_self_loop_allowed(self):
+        graph = Graph(2)
+        graph.add_edge(1, 1)
+        assert graph.has_edge(1, 1)
+        assert graph.degree(1) == 1
+
+    def test_add_edge_invalidates_matrix_cache(self):
+        graph = Graph(3, [(0, 1)])
+        first = graph.adjacency_matrix()
+        graph.add_edge(1, 2)
+        second = graph.adjacency_matrix()
+        assert second.nnz > first.nnz
+
+
+class TestViews:
+    def test_neighbors_sorted(self, star_graph):
+        assert star_graph.neighbors(0) == [1, 2, 3, 4, 5]
+        assert star_graph.neighbors(3) == [0]
+
+    def test_neighbors_out_of_range(self, star_graph):
+        with pytest.raises(IndexError):
+            star_graph.neighbors(6)
+
+    def test_degrees(self, star_graph):
+        degrees = star_graph.degrees()
+        assert degrees[0] == 5
+        assert np.all(degrees[1:] == 1)
+
+    def test_degree_single_vertex(self, triangle_graph):
+        assert triangle_graph.degree(0) == 2
+
+    def test_has_edge_out_of_range_is_false(self, triangle_graph):
+        assert not triangle_graph.has_edge(0, 99)
+        assert not triangle_graph.has_edge(-1, 0)
+
+    def test_vertex_label_access(self, labelled_graph):
+        assert labelled_graph.vertex_label(1) == "N"
+
+    def test_vertex_label_without_labels_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.vertex_label(0)
+
+
+class TestAdjacencyMatrix:
+    def test_shape_and_symmetry(self, path_graph):
+        matrix = path_graph.adjacency_matrix()
+        assert matrix.shape == (5, 5)
+        dense = matrix.toarray()
+        assert np.array_equal(dense, dense.T)
+
+    def test_entries(self, triangle_graph):
+        dense = triangle_graph.adjacency_matrix().toarray()
+        expected = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+        assert np.array_equal(dense, expected)
+
+    def test_row_sums_are_degrees(self, star_graph):
+        matrix = star_graph.adjacency_matrix()
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.array_equal(row_sums, star_graph.degrees().astype(float))
+
+    def test_empty_graph_matrix(self):
+        graph = Graph(4)
+        matrix = graph.adjacency_matrix()
+        assert matrix.shape == (4, 4)
+        assert matrix.nnz == 0
+
+    def test_cache_reused(self, triangle_graph):
+        assert triangle_graph.adjacency_matrix() is triangle_graph.adjacency_matrix()
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path_graph):
+        components = path_graph.connected_components()
+        assert components == [[0, 1, 2, 3, 4]]
+
+    def test_multiple_components(self):
+        graph = Graph(6, [(0, 1), (2, 3)])
+        components = graph.connected_components()
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3), (4,), (5,)]
+
+    def test_empty_graph(self):
+        assert Graph(0).connected_components() == []
+
+
+class TestNetworkxConversion:
+    def test_roundtrip_structure(self, labelled_graph):
+        nx_graph = labelled_graph.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back.num_vertices == labelled_graph.num_vertices
+        assert back.edges() == labelled_graph.edges()
+        assert back.vertex_labels == labelled_graph.vertex_labels
+        assert back.edge_labels == labelled_graph.edge_labels
+        assert back.graph_label == labelled_graph.graph_label
+
+    def test_from_networkx_generator(self):
+        nx_graph = nx.cycle_graph(6)
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_vertices == 6
+        assert graph.num_edges == 6
+
+    def test_from_networkx_relabels_nodes(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("x", "y")
+        nx_graph.add_edge("y", "z")
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_to_networkx_preserves_attributes(self, labelled_graph):
+        nx_graph = labelled_graph.to_networkx()
+        assert nx_graph.nodes[0]["label"] == "C"
+        assert nx_graph.graph["label"] == 1
+
+
+class TestCopyAndRelabel:
+    def test_copy_is_independent(self, triangle_graph):
+        copy = triangle_graph.copy()
+        copy.add_edge(0, 0)
+        assert not triangle_graph.has_edge(0, 0)
+
+    def test_copy_preserves_labels(self, labelled_graph):
+        copy = labelled_graph.copy()
+        assert copy.vertex_labels == labelled_graph.vertex_labels
+        assert copy.graph_label == labelled_graph.graph_label
+
+    def test_relabel(self, triangle_graph):
+        relabelled = triangle_graph.relabel(["a", "b", "c"])
+        assert relabelled.vertex_labels == ["a", "b", "c"]
+        assert triangle_graph.vertex_labels is None
+
+    def test_relabel_wrong_length(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.relabel(["a"])

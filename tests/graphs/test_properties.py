@@ -1,0 +1,83 @@
+"""Tests for graph and dataset statistics."""
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    average_clustering_coefficient,
+    dataset_statistics,
+    degree_histogram,
+    graph_density,
+)
+
+
+class TestGraphDensity:
+    def test_complete_graph(self):
+        graph = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert graph_density(graph) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert graph_density(Graph(5)) == 0.0
+
+    def test_trivial_graphs(self):
+        assert graph_density(Graph(0)) == 0.0
+        assert graph_density(Graph(1)) == 0.0
+
+    def test_path_density(self, path_graph):
+        assert graph_density(path_graph) == pytest.approx(4 / 10)
+
+
+class TestDatasetStatistics:
+    def test_basic_statistics(self, small_graph_collection):
+        stats = dataset_statistics("toy", small_graph_collection)
+        assert stats.name == "toy"
+        assert stats.num_graphs == 6
+        assert stats.num_classes == 2
+        expected_vertices = sum(g.num_vertices for g in small_graph_collection) / 6
+        assert stats.avg_vertices == pytest.approx(expected_vertices)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_statistics("empty", [])
+
+    def test_as_row(self, small_graph_collection):
+        row = dataset_statistics("toy", small_graph_collection).as_row()
+        assert row[0] == "toy"
+        assert row[1] == 6
+        assert row[2] == 2
+
+    def test_unlabelled_graphs_not_counted_as_class(self):
+        graphs = [Graph(3, [(0, 1)], graph_label=0), Graph(3, [(0, 1)])]
+        stats = dataset_statistics("mixed", graphs)
+        assert stats.num_classes == 1
+
+
+class TestDegreeHistogram:
+    def test_star(self, star_graph):
+        histogram = degree_histogram(star_graph)
+        assert histogram == {5: 1, 1: 5}
+
+    def test_empty(self):
+        assert degree_histogram(Graph(0)) == {}
+
+    def test_total_matches_vertex_count(self):
+        graph = erdos_renyi_graph(30, 0.2, rng=0)
+        histogram = degree_histogram(graph)
+        assert sum(histogram.values()) == 30
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_fully_clustered(self, triangle_graph):
+        assert average_clustering_coefficient(triangle_graph) == pytest.approx(1.0)
+
+    def test_star_has_no_clustering(self, star_graph):
+        assert average_clustering_coefficient(star_graph) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering_coefficient(Graph(0)) == 0.0
+
+    def test_between_zero_and_one(self):
+        graph = erdos_renyi_graph(25, 0.3, rng=0)
+        coefficient = average_clustering_coefficient(graph)
+        assert 0.0 <= coefficient <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for Weisfeiler–Leman colour refinement."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.wl_refinement import (
+    ColorDictionary,
+    initial_colors,
+    refine_once,
+    wl_color_histories,
+    wl_refinement,
+    wl_subtree_features,
+)
+
+
+class TestColorDictionary:
+    def test_injective(self):
+        dictionary = ColorDictionary()
+        first = dictionary.get(("a",))
+        second = dictionary.get(("b",))
+        assert first != second
+        assert dictionary.get(("a",)) == first
+        assert len(dictionary) == 2
+
+    def test_colors_are_consecutive_integers(self):
+        dictionary = ColorDictionary()
+        colors = [dictionary.get(key) for key in ("x", "y", "z")]
+        assert colors == [0, 1, 2]
+
+
+class TestInitialColors:
+    def test_unlabelled_graphs_share_one_color(self, triangle_graph, path_graph):
+        dictionary = ColorDictionary()
+        first = initial_colors(triangle_graph, dictionary)
+        second = initial_colors(path_graph, dictionary)
+        assert len(set(first) | set(second)) == 1
+
+    def test_labelled_graph_uses_labels(self, labelled_graph):
+        dictionary = ColorDictionary()
+        colors = initial_colors(labelled_graph, dictionary)
+        # Labels are C, N, C, O -> vertices 0 and 2 share a colour.
+        assert colors[0] == colors[2]
+        assert colors[0] != colors[1]
+        assert colors[1] != colors[3]
+
+    def test_labels_can_be_ignored(self, labelled_graph):
+        dictionary = ColorDictionary()
+        colors = initial_colors(labelled_graph, dictionary, use_vertex_labels=False)
+        assert len(set(colors)) == 1
+
+
+class TestRefinement:
+    def test_refinement_separates_degrees(self, star_graph):
+        dictionary = ColorDictionary()
+        colors = initial_colors(star_graph, dictionary)
+        refined = refine_once(star_graph, colors, dictionary)
+        # Hub and leaves have different degree so they get different colours.
+        assert refined[0] != refined[1]
+        assert len(set(refined[1:])) == 1
+
+    def test_regular_graph_stays_uniform(self, triangle_graph):
+        dictionary = ColorDictionary()
+        colors = initial_colors(triangle_graph, dictionary)
+        refined = refine_once(triangle_graph, colors, dictionary)
+        assert len(set(refined)) == 1
+
+    def test_wl_refinement_history_length(self, small_graph_collection):
+        histories = wl_refinement(small_graph_collection, 3)
+        assert len(histories) == len(small_graph_collection)
+        for history, graph in zip(histories, small_graph_collection):
+            assert len(history) == 4
+            for colors in history:
+                assert colors.shape == (graph.num_vertices,)
+
+    def test_negative_iterations_rejected(self, small_graph_collection):
+        with pytest.raises(ValueError):
+            wl_refinement(small_graph_collection, -1)
+
+    def test_colors_shared_across_graphs(self):
+        # Two isomorphic paths must receive identical colour multisets.
+        first = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        second = Graph(4, [(3, 2), (2, 1), (1, 0)])
+        histories = wl_refinement([first, second], 2)
+        for round_index in range(3):
+            assert sorted(histories[0][round_index]) == sorted(histories[1][round_index])
+
+    def test_non_isomorphic_graphs_get_different_colors(self):
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        histories = wl_refinement([path, star], 2)
+        assert sorted(histories[0][2]) != sorted(histories[1][2])
+
+
+class TestSubtreeFeatures:
+    def test_identical_graphs_identical_features(self, triangle_graph):
+        features = wl_subtree_features([triangle_graph, triangle_graph.copy()], 3)
+        assert features[0] == features[1]
+
+    def test_feature_counts_sum_to_vertices_times_rounds(self, path_graph):
+        iterations = 3
+        features = wl_subtree_features([path_graph], iterations)[0]
+        assert sum(features.values()) == path_graph.num_vertices * (iterations + 1)
+
+    def test_zero_iterations(self, path_graph, star_graph):
+        features = wl_subtree_features([path_graph, star_graph], 0)
+        # With zero iterations and no labels every vertex has the same colour.
+        assert list(features[0].values()) == [path_graph.num_vertices]
+        assert list(features[1].values()) == [star_graph.num_vertices]
+
+
+class TestColorHistories:
+    def test_shape(self, small_graph_collection):
+        histories = wl_color_histories(small_graph_collection, 2)
+        for history, graph in zip(histories, small_graph_collection):
+            assert history.shape == (graph.num_vertices, 3)
+
+    def test_empty_graph(self):
+        histories = wl_color_histories([Graph(0)], 2)
+        assert histories[0].shape == (0, 3)
+
+    def test_isomorphic_graphs_share_row_multisets(self):
+        first = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        second = Graph(5, [(4, 3), (3, 2), (2, 1), (1, 0)])
+        histories = wl_color_histories([first, second], 2)
+        rows_first = sorted(map(tuple, histories[0]))
+        rows_second = sorted(map(tuple, histories[1]))
+        assert rows_first == rows_second

@@ -1,0 +1,123 @@
+"""Tests for the associative (class-vector) memory."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.hypervector import random_bipolar, random_hypervectors
+
+DIMENSION = 1024
+
+
+def noisy_copy(hypervector, flip_fraction, rng):
+    """Flip a fraction of the components of a bipolar hypervector."""
+    noisy = hypervector.copy()
+    count = int(len(noisy) * flip_fraction)
+    positions = rng.choice(len(noisy), size=count, replace=False)
+    noisy[positions] = -noisy[positions]
+    return noisy
+
+
+class TestAssociativeMemory:
+    def test_empty_memory_properties(self):
+        memory = AssociativeMemory(DIMENSION)
+        assert len(memory) == 0
+        assert memory.classes == []
+        assert "a" not in memory
+
+    def test_add_and_query_exact(self):
+        memory = AssociativeMemory(DIMENSION)
+        prototypes = {label: random_bipolar(DIMENSION, rng=label) for label in range(3)}
+        for label, prototype in prototypes.items():
+            memory.add(label, prototype)
+        for label, prototype in prototypes.items():
+            assert memory.query(prototype) == label
+
+    def test_query_with_noise(self):
+        rng = np.random.default_rng(0)
+        memory = AssociativeMemory(DIMENSION)
+        prototypes = {label: random_bipolar(DIMENSION, rng=label) for label in range(4)}
+        for label, prototype in prototypes.items():
+            memory.add(label, prototype)
+        for label, prototype in prototypes.items():
+            corrupted = noisy_copy(prototype, 0.3, rng)
+            assert memory.query(corrupted) == label
+
+    def test_add_many_equivalent_to_repeated_add(self):
+        vectors = random_hypervectors(5, DIMENSION, rng=0)
+        one_by_one = AssociativeMemory(DIMENSION)
+        for vector in vectors:
+            one_by_one.add("c", vector)
+        batched = AssociativeMemory(DIMENSION)
+        batched.add_many("c", vectors)
+        assert np.array_equal(one_by_one.class_vector("c"), batched.class_vector("c"))
+        assert one_by_one.count("c") == batched.count("c") == 5
+
+    def test_negative_weight_subtracts(self):
+        memory = AssociativeMemory(DIMENSION)
+        vector = random_bipolar(DIMENSION, rng=0)
+        memory.add("c", vector)
+        memory.add("c", vector, weight=-1.0)
+        assert np.all(memory.class_vector("c") == 0)
+
+    def test_class_vector_normalized(self):
+        memory = AssociativeMemory(DIMENSION)
+        memory.add_many("c", random_hypervectors(7, DIMENSION, rng=0))
+        normalized = memory.class_vector("c", normalized=True)
+        assert set(np.unique(normalized)) <= {-1, 1}
+
+    def test_unknown_class_vector_raises(self):
+        memory = AssociativeMemory(DIMENSION)
+        with pytest.raises(KeyError):
+            memory.class_vector("missing")
+
+    def test_query_empty_memory_raises(self):
+        memory = AssociativeMemory(DIMENSION)
+        with pytest.raises(RuntimeError):
+            memory.query(random_bipolar(DIMENSION, rng=0))
+
+    def test_wrong_dimension_rejected(self):
+        memory = AssociativeMemory(DIMENSION)
+        with pytest.raises(ValueError):
+            memory.add("c", random_bipolar(DIMENSION // 2, rng=0))
+        with pytest.raises(ValueError):
+            memory.add_many("c", random_hypervectors(2, DIMENSION // 2, rng=0))
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(0)
+
+    def test_similarities_shape_and_labels(self):
+        memory = AssociativeMemory(DIMENSION)
+        for label in ("a", "b", "c"):
+            memory.add(label, random_bipolar(DIMENSION, rng=hash(label) % 100))
+        queries = random_hypervectors(4, DIMENSION, rng=1)
+        scores, labels = memory.similarities(queries)
+        assert scores.shape == (4, 3)
+        assert labels == ["a", "b", "c"]
+
+    def test_query_many(self):
+        memory = AssociativeMemory(DIMENSION)
+        prototypes = {label: random_bipolar(DIMENSION, rng=label) for label in range(3)}
+        for label, prototype in prototypes.items():
+            memory.add(label, prototype)
+        queries = [prototypes[2], prototypes[0], prototypes[1]]
+        assert memory.query_many(queries) == [2, 0, 1]
+
+    def test_hamming_metric(self):
+        memory = AssociativeMemory(DIMENSION, metric="hamming", normalize_queries=True)
+        prototypes = {label: random_bipolar(DIMENSION, rng=label) for label in range(2)}
+        for label, prototype in prototypes.items():
+            memory.add(label, prototype)
+        assert memory.query(prototypes[1]) == 1
+
+    def test_bundled_class_vector_closer_to_members(self):
+        rng = np.random.default_rng(3)
+        memory = AssociativeMemory(DIMENSION)
+        prototype = random_bipolar(DIMENSION, rng=10)
+        members = [noisy_copy(prototype, 0.2, rng) for _ in range(10)]
+        memory.add_many("class", members)
+        other = random_bipolar(DIMENSION, rng=20)
+        memory.add("other", other)
+        for member in members:
+            assert memory.query(member) == "class"

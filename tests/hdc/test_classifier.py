@@ -1,0 +1,163 @@
+"""Tests for the generic centroid HDC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.classifier import CentroidClassifier
+from repro.hdc.hypervector import random_bipolar
+
+DIMENSION = 1024
+
+
+def make_cluster(prototype, count, flip_fraction, rng):
+    """Noisy copies of a prototype hypervector."""
+    samples = []
+    for _ in range(count):
+        sample = prototype.copy()
+        positions = rng.choice(len(sample), size=int(len(sample) * flip_fraction), replace=False)
+        sample[positions] = -sample[positions]
+        samples.append(sample)
+    return samples
+
+
+@pytest.fixture
+def clustered_data():
+    rng = np.random.default_rng(0)
+    prototypes = {
+        label: random_bipolar(DIMENSION, rng=seed)
+        for seed, label in enumerate(("a", "b", "c"))
+    }
+    encodings, labels = [], []
+    for label, prototype in prototypes.items():
+        for sample in make_cluster(prototype, 15, 0.25, rng):
+            encodings.append(sample)
+            labels.append(label)
+    return np.vstack(encodings), labels, prototypes
+
+
+class TestCentroidClassifier:
+    def test_fit_predict_recovers_clusters(self, clustered_data):
+        encodings, labels, prototypes = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        assert classifier.score(encodings, labels) > 0.95
+        for label, prototype in prototypes.items():
+            assert classifier.predict_one(prototype) == label
+
+    def test_classes_property(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        assert set(classifier.classes) == {"a", "b", "c"}
+
+    def test_predict_before_fit_raises(self):
+        classifier = CentroidClassifier(DIMENSION)
+        with pytest.raises(RuntimeError):
+            classifier.predict(random_bipolar(DIMENSION, rng=0)[None, :])
+
+    def test_length_mismatch_rejected(self):
+        classifier = CentroidClassifier(DIMENSION)
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros((3, DIMENSION)), ["a", "b"])
+
+    def test_dimension_mismatch_rejected(self):
+        classifier = CentroidClassifier(DIMENSION)
+        with pytest.raises(ValueError):
+            classifier.fit(np.zeros((2, DIMENSION // 2)), ["a", "b"])
+
+    def test_score_empty_rejected(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(ValueError):
+            classifier.score(np.zeros((0, DIMENSION)), [])
+
+    def test_partial_fit_adds_class(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        new_prototype = random_bipolar(DIMENSION, rng=77)
+        classifier.partial_fit(new_prototype, "d")
+        assert classifier.predict_one(new_prototype) == "d"
+
+    def test_partial_fit_from_scratch(self):
+        classifier = CentroidClassifier(DIMENSION)
+        first = random_bipolar(DIMENSION, rng=0)
+        second = random_bipolar(DIMENSION, rng=1)
+        classifier.partial_fit(first, 0)
+        classifier.partial_fit(second, 1)
+        assert classifier.predict_one(first) == 0
+        assert classifier.predict_one(second) == 1
+
+    def test_decision_scores_shape(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        scores, classes = classifier.decision_scores(encodings[:5])
+        assert scores.shape == (5, 3)
+        assert len(classes) == 3
+
+    def test_normalized_class_vectors_mode(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION, normalize_class_vectors=True)
+        classifier.fit(encodings, labels)
+        assert classifier.score(encodings, labels) > 0.9
+
+
+class TestRetraining:
+    def test_retraining_reduces_training_errors(self):
+        # Construct overlapping clusters where plain centroids confuse a few
+        # samples; retraining should reduce the number of training errors.
+        rng = np.random.default_rng(1)
+        prototype_a = random_bipolar(DIMENSION, rng=10)
+        prototype_b = prototype_a.copy()
+        flip = rng.choice(DIMENSION, size=int(DIMENSION * 0.3), replace=False)
+        prototype_b[flip] = -prototype_b[flip]
+
+        encodings, labels = [], []
+        for label, prototype in (("a", prototype_a), ("b", prototype_b)):
+            for sample in make_cluster(prototype, 20, 0.35, rng):
+                encodings.append(sample)
+                labels.append(label)
+        encodings = np.vstack(encodings)
+
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        before = classifier.score(encodings, labels)
+        report = classifier.retrain(encodings, labels, epochs=15)
+        after = classifier.score(encodings, labels)
+        assert after >= before
+        assert report.epochs_run >= 1
+        assert len(report.errors_per_epoch) == report.epochs_run
+
+    def test_retrain_converges_on_separable_data(self, clustered_data=None):
+        rng = np.random.default_rng(2)
+        prototypes = {label: random_bipolar(DIMENSION, rng=label) for label in range(2)}
+        encodings, labels = [], []
+        for label, prototype in prototypes.items():
+            for sample in make_cluster(prototype, 10, 0.1, rng):
+                encodings.append(sample)
+                labels.append(label)
+        encodings = np.vstack(encodings)
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        report = classifier.retrain(encodings, labels, epochs=10)
+        assert report.converged
+        assert report.errors_per_epoch[-1] == 0
+
+    def test_retrain_before_fit_raises(self):
+        classifier = CentroidClassifier(DIMENSION)
+        with pytest.raises(RuntimeError):
+            classifier.retrain(np.zeros((2, DIMENSION)), ["a", "b"])
+
+    def test_retrain_zero_epochs(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        report = classifier.retrain(encodings, labels, epochs=0)
+        assert report.epochs_run == 0
+        assert not report.converged
+
+    def test_retrain_negative_epochs_rejected(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(ValueError):
+            classifier.retrain(encodings, labels, epochs=-1)
+
+    def test_retrain_length_mismatch_rejected(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(ValueError):
+            classifier.retrain(encodings, labels[:-1], epochs=1)

@@ -1,0 +1,142 @@
+"""Tests for the generic HDC encoders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.encoders import NGramEncoder, RecordEncoder, SequenceEncoder
+from repro.hdc.operations import cosine_similarity
+
+DIMENSION = 2048
+
+
+class TestRecordEncoder:
+    def test_encoding_is_bipolar(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        hv = encoder.encode({"a": 1.0, "b": 0.0})
+        assert set(np.unique(hv)) <= {-1, 1}
+        assert hv.shape == (DIMENSION,)
+
+    def test_identical_records_encode_identically(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        record = {"x": 0.3, "y": "red", "z": 0.9}
+        assert np.array_equal(encoder.encode(record), encoder.encode(record))
+
+    def test_similar_records_are_similar(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        base = {"a": 0.5, "b": 0.5, "c": 0.5}
+        near = {"a": 0.5, "b": 0.5, "c": 0.55}
+        far = {"a": 0.0, "b": 1.0, "c": 0.1}
+        similarity_near = cosine_similarity(encoder.encode(base), encoder.encode(near))
+        similarity_far = cosine_similarity(encoder.encode(base), encoder.encode(far))
+        assert similarity_near > similarity_far
+
+    def test_categorical_values_supported(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        first = encoder.encode({"colour": "red"})
+        second = encoder.encode({"colour": "blue"})
+        assert abs(cosine_similarity(first, second)) < 0.2
+
+    def test_unrelated_records_quasi_orthogonal(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        first = encoder.encode({"a": "x"})
+        second = encoder.encode({"b": "y"})
+        assert abs(cosine_similarity(first, second)) < 0.2
+
+    def test_empty_record_rejected(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        with pytest.raises(ValueError):
+            encoder.encode({})
+
+    def test_unsupported_value_type_rejected(self):
+        encoder = RecordEncoder(DIMENSION, seed=0)
+        with pytest.raises(TypeError):
+            encoder.encode({"a": [1, 2, 3]})
+
+    def test_invalid_numeric_range_rejected(self):
+        with pytest.raises(ValueError):
+            RecordEncoder(DIMENSION, numeric_range=(1.0, 0.0))
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            RecordEncoder(DIMENSION, numeric_levels=1)
+
+    def test_reproducible_with_seed(self):
+        first = RecordEncoder(512, seed=5)
+        second = RecordEncoder(512, seed=5)
+        record = {"a": 0.2, "b": "c"}
+        assert np.array_equal(first.encode(record), second.encode(record))
+
+
+class TestNGramEncoder:
+    def test_encoding_is_bipolar(self):
+        encoder = NGramEncoder(3, DIMENSION, seed=0)
+        hv = encoder.encode("hyperdimensional")
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_same_sequence_same_encoding(self):
+        encoder = NGramEncoder(3, DIMENSION, seed=0)
+        assert np.array_equal(encoder.encode("graphhd"), encoder.encode("graphhd"))
+
+    def test_similar_strings_more_similar_than_different(self):
+        encoder = NGramEncoder(3, DIMENSION, seed=0)
+        base = encoder.encode("hyperdimensional computing")
+        near = encoder.encode("hyperdimensional computers")
+        far = encoder.encode("graph neural network model")
+        assert cosine_similarity(base, near) > cosine_similarity(base, far)
+
+    def test_order_matters(self):
+        encoder = NGramEncoder(2, DIMENSION, seed=0)
+        forward = encoder.encode(["a", "b", "c", "d"])
+        backward = encoder.encode(["d", "c", "b", "a"])
+        assert cosine_similarity(forward, backward) < 0.9
+
+    def test_ngram_length_validation(self):
+        encoder = NGramEncoder(3, DIMENSION, seed=0)
+        with pytest.raises(ValueError):
+            encoder.encode_ngram(["a", "b"])
+
+    def test_sequence_shorter_than_n_rejected(self):
+        encoder = NGramEncoder(4, DIMENSION, seed=0)
+        with pytest.raises(ValueError):
+            encoder.encode("abc")
+
+    def test_unigram_encoder(self):
+        encoder = NGramEncoder(1, DIMENSION, seed=0)
+        hv = encoder.encode(["a", "b", "a"])
+        assert hv.shape == (DIMENSION,)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            NGramEncoder(0, DIMENSION)
+
+
+class TestSequenceEncoder:
+    def test_encoding_is_bipolar(self):
+        encoder = SequenceEncoder(DIMENSION, seed=0)
+        hv = encoder.encode(["a", "b", "c"])
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_position_sensitivity(self):
+        encoder = SequenceEncoder(DIMENSION, seed=0)
+        forward = encoder.encode(["a", "b", "c", "d", "e"])
+        reordered = encoder.encode(["b", "c", "d", "e", "a"])
+        unrelated = encoder.encode(["v", "w", "x", "y", "z"])
+        # Same multiset in a different order is neither identical nor unrelated.
+        assert cosine_similarity(forward, reordered) < 0.95
+        assert cosine_similarity(forward, reordered) > cosine_similarity(
+            forward, unrelated
+        )
+
+    def test_identical_sequences_encode_identically(self):
+        encoder = SequenceEncoder(DIMENSION, seed=0)
+        assert np.array_equal(encoder.encode("abcde"), encoder.encode("abcde"))
+
+    def test_empty_sequence_rejected(self):
+        encoder = SequenceEncoder(DIMENSION, seed=0)
+        with pytest.raises(ValueError):
+            encoder.encode([])
+
+    def test_reproducible_with_seed(self):
+        first = SequenceEncoder(512, seed=1)
+        second = SequenceEncoder(512, seed=1)
+        assert np.array_equal(first.encode("abc"), second.encode("abc"))

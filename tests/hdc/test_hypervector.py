@@ -1,0 +1,144 @@
+"""Tests for hypervector creation and conversion."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import (
+    DEFAULT_DIMENSION,
+    ensure_matrix,
+    expected_orthogonality_bound,
+    random_binary,
+    random_bipolar,
+    random_hypervectors,
+    to_binary,
+    to_bipolar,
+)
+
+
+class TestRandomBipolar:
+    def test_values_are_plus_minus_one(self):
+        hv = random_bipolar(512, rng=0)
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_default_dimension_matches_paper(self):
+        assert DEFAULT_DIMENSION == 10_000
+        assert random_bipolar(rng=0).shape == (10_000,)
+
+    def test_reproducible_with_seed(self):
+        assert np.array_equal(random_bipolar(256, rng=42), random_bipolar(256, rng=42))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_bipolar(256, rng=1), random_bipolar(256, rng=2)
+        )
+
+    def test_roughly_balanced(self):
+        hv = random_bipolar(10_000, rng=0)
+        assert abs(int(hv.sum())) < 500
+
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(ValueError):
+            random_bipolar(0)
+        with pytest.raises(ValueError):
+            random_bipolar(-5)
+
+    def test_accepts_generator_instance(self):
+        generator = np.random.default_rng(3)
+        first = random_bipolar(128, rng=generator)
+        second = random_bipolar(128, rng=generator)
+        assert not np.array_equal(first, second)
+
+
+class TestRandomBinary:
+    def test_values_are_zero_one(self):
+        hv = random_binary(512, rng=0)
+        assert set(np.unique(hv)) <= {0, 1}
+
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(ValueError):
+            random_binary(0)
+
+    def test_roughly_balanced(self):
+        hv = random_binary(10_000, rng=0)
+        assert 4500 < int(hv.sum()) < 5500
+
+
+class TestRandomHypervectors:
+    def test_shape(self):
+        matrix = random_hypervectors(5, 300, rng=0)
+        assert matrix.shape == (5, 300)
+
+    def test_binary_kind(self):
+        matrix = random_hypervectors(4, 200, kind="binary", rng=0)
+        assert set(np.unique(matrix)) <= {0, 1}
+
+    def test_bipolar_kind(self):
+        matrix = random_hypervectors(4, 200, kind="bipolar", rng=0)
+        assert set(np.unique(matrix)) <= {-1, 1}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypervectors(2, 100, kind="ternary")
+
+    def test_zero_count_allowed(self):
+        matrix = random_hypervectors(0, 100)
+        assert matrix.shape == (0, 100)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_hypervectors(-1, 100)
+
+    def test_rows_are_independent(self):
+        matrix = random_hypervectors(2, 2000, rng=0)
+        agreement = np.mean(matrix[0] == matrix[1])
+        assert 0.4 < agreement < 0.6
+
+
+class TestConversions:
+    def test_bipolar_to_binary_roundtrip(self):
+        bipolar = random_bipolar(300, rng=0)
+        assert np.array_equal(to_bipolar(to_binary(bipolar)), bipolar)
+
+    def test_binary_to_bipolar_roundtrip(self):
+        binary = random_binary(300, rng=0)
+        assert np.array_equal(to_binary(to_bipolar(binary)), binary)
+
+    def test_to_binary_idempotent(self):
+        binary = random_binary(300, rng=0)
+        assert np.array_equal(to_binary(binary), binary)
+
+    def test_to_bipolar_idempotent(self):
+        bipolar = random_bipolar(300, rng=0)
+        assert np.array_equal(to_bipolar(bipolar), bipolar)
+
+    def test_empty_arrays(self):
+        empty = np.array([], dtype=np.int8)
+        assert to_binary(empty).size == 0
+        assert to_bipolar(empty).size == 0
+
+
+class TestEnsureMatrix:
+    def test_stacks_list(self):
+        vectors = [random_bipolar(64, rng=i) for i in range(3)]
+        matrix = ensure_matrix(vectors)
+        assert matrix.shape == (3, 64)
+
+    def test_passes_through_matrix(self):
+        matrix = random_hypervectors(3, 64, rng=0)
+        assert ensure_matrix(matrix) is matrix
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_matrix([])
+
+
+class TestOrthogonalityBound:
+    def test_decreases_with_dimension(self):
+        assert expected_orthogonality_bound(10_000) < expected_orthogonality_bound(100)
+
+    def test_positive(self):
+        assert expected_orthogonality_bound(1000) > 0
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            expected_orthogonality_bound(0)

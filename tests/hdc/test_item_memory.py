@@ -1,0 +1,165 @@
+"""Tests for item memories (random, level, circular)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import expected_orthogonality_bound
+from repro.hdc.item_memory import CircularItemMemory, ItemMemory, LevelItemMemory
+from repro.hdc.operations import cosine_similarity
+
+DIMENSION = 2048
+
+
+class TestItemMemory:
+    def test_same_key_same_vector(self):
+        memory = ItemMemory(DIMENSION, seed=0)
+        assert np.array_equal(memory.get("a"), memory.get("a"))
+
+    def test_different_keys_quasi_orthogonal(self):
+        memory = ItemMemory(DIMENSION, seed=0)
+        similarity = cosine_similarity(memory.get("a"), memory.get("b"))
+        assert abs(similarity) < expected_orthogonality_bound(DIMENSION)
+
+    def test_len_and_contains(self):
+        memory = ItemMemory(128, seed=0)
+        assert len(memory) == 0
+        memory.get(1)
+        memory.get(2)
+        assert len(memory) == 2
+        assert 1 in memory
+        assert 3 not in memory
+
+    def test_getitem_alias(self):
+        memory = ItemMemory(128, seed=0)
+        assert np.array_equal(memory["x"], memory.get("x"))
+
+    def test_get_many_shape(self):
+        memory = ItemMemory(128, seed=0)
+        matrix = memory.get_many([0, 1, 2, 1])
+        assert matrix.shape == (4, 128)
+        assert np.array_equal(matrix[1], matrix[3])
+
+    def test_get_many_empty(self):
+        memory = ItemMemory(128, seed=0)
+        assert memory.get_many([]).shape == (0, 128)
+
+    def test_get_many_order_independent(self):
+        first = ItemMemory(256, seed=5)
+        second = ItemMemory(256, seed=5)
+        first.get_many([3, 1, 2])
+        second.get_many([1, 2, 3])
+        for key in (1, 2, 3):
+            assert np.array_equal(first.get(key), second.get(key))
+
+    def test_reproducible_with_seed(self):
+        first = ItemMemory(256, seed=9)
+        second = ItemMemory(256, seed=9)
+        assert np.array_equal(first.get("token"), second.get("token"))
+
+    def test_as_dict_snapshot(self):
+        memory = ItemMemory(64, seed=0)
+        memory.get("a")
+        snapshot = memory.as_dict()
+        assert set(snapshot) == {"a"}
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            ItemMemory(0)
+
+    def test_mixed_unsortable_keys(self):
+        memory = ItemMemory(64, seed=0)
+        matrix = memory.get_many(["a", 1, ("t", 2)])
+        assert matrix.shape == (3, 64)
+
+
+class TestLevelItemMemory:
+    def test_endpoints_quasi_orthogonal(self):
+        memory = LevelItemMemory(16, DIMENSION, seed=0)
+        similarity = cosine_similarity(memory.get(0), memory.get(15))
+        assert abs(similarity) < 0.15
+
+    def test_neighbours_highly_similar(self):
+        memory = LevelItemMemory(16, DIMENSION, seed=0)
+        assert cosine_similarity(memory.get(7), memory.get(8)) > 0.8
+
+    def test_similarity_monotonically_decreases(self):
+        memory = LevelItemMemory(10, DIMENSION, seed=0)
+        base = memory.get(0)
+        similarities = [cosine_similarity(base, memory.get(level)) for level in range(10)]
+        assert all(
+            earlier >= later - 0.05
+            for earlier, later in zip(similarities, similarities[1:])
+        )
+
+    def test_out_of_range_level(self):
+        memory = LevelItemMemory(4, 128, seed=0)
+        with pytest.raises(IndexError):
+            memory.get(4)
+        with pytest.raises(IndexError):
+            memory.get(-1)
+
+    def test_get_value_quantization(self):
+        memory = LevelItemMemory(5, 256, seed=0)
+        assert np.array_equal(memory.get_value(0.0, 0.0, 1.0), memory.get(0))
+        assert np.array_equal(memory.get_value(1.0, 0.0, 1.0), memory.get(4))
+        assert np.array_equal(memory.get_value(0.5, 0.0, 1.0), memory.get(2))
+
+    def test_get_value_clips_out_of_range(self):
+        memory = LevelItemMemory(5, 256, seed=0)
+        assert np.array_equal(memory.get_value(-3.0, 0.0, 1.0), memory.get(0))
+        assert np.array_equal(memory.get_value(7.0, 0.0, 1.0), memory.get(4))
+
+    def test_get_value_invalid_range(self):
+        memory = LevelItemMemory(5, 256, seed=0)
+        with pytest.raises(ValueError):
+            memory.get_value(0.5, 1.0, 0.0)
+
+    def test_requires_two_levels(self):
+        with pytest.raises(ValueError):
+            LevelItemMemory(1, 128)
+
+    def test_all_vectors_shape(self):
+        memory = LevelItemMemory(6, 100, seed=0)
+        assert memory.all_vectors().shape == (6, 100)
+        assert len(memory) == 6
+
+
+class TestCircularItemMemory:
+    def test_wraps_around(self):
+        memory = CircularItemMemory(8, DIMENSION, seed=0)
+        assert np.array_equal(memory.get(8), memory.get(0))
+        assert np.array_equal(memory.get(-1), memory.get(7))
+
+    def test_opposite_levels_maximally_dissimilar(self):
+        memory = CircularItemMemory(8, DIMENSION, seed=0)
+        opposite = cosine_similarity(memory.get(0), memory.get(4))
+        adjacent = cosine_similarity(memory.get(0), memory.get(1))
+        assert opposite < adjacent
+        assert opposite < 0.0
+
+    def test_similarity_decreases_with_circular_distance(self):
+        memory = CircularItemMemory(8, DIMENSION, seed=0)
+        base = memory.get(0)
+        similarities = [
+            cosine_similarity(base, memory.get(level)) for level in range(5)
+        ]
+        assert all(
+            earlier > later for earlier, later in zip(similarities, similarities[1:])
+        )
+
+    def test_similarity_wraps_around(self):
+        memory = CircularItemMemory(8, DIMENSION, seed=0)
+        base = memory.get(0)
+        forward = cosine_similarity(base, memory.get(1))
+        backward = cosine_similarity(base, memory.get(7))
+        assert forward == pytest.approx(backward, abs=0.1)
+        assert backward > cosine_similarity(base, memory.get(4))
+
+    def test_requires_two_levels(self):
+        with pytest.raises(ValueError):
+            CircularItemMemory(1, 128)
+
+    def test_all_vectors_shape(self):
+        memory = CircularItemMemory(5, 100, seed=0)
+        assert memory.all_vectors().shape == (5, 100)
+        assert len(memory) == 5

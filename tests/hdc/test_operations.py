@@ -1,0 +1,216 @@
+"""Tests for the fundamental HDC operations."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import expected_orthogonality_bound, random_bipolar
+from repro.hdc.operations import (
+    bind,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    hamming_similarity,
+    normalize_hard,
+    permute,
+    similarity,
+    similarity_matrix,
+)
+
+DIMENSION = 2048
+
+
+@pytest.fixture
+def a():
+    return random_bipolar(DIMENSION, rng=1)
+
+
+@pytest.fixture
+def b():
+    return random_bipolar(DIMENSION, rng=2)
+
+
+@pytest.fixture
+def c():
+    return random_bipolar(DIMENSION, rng=3)
+
+
+class TestBind:
+    def test_result_is_bipolar(self, a, b):
+        bound = bind(a, b)
+        assert set(np.unique(bound)) <= {-1, 1}
+
+    def test_commutative(self, a, b):
+        assert np.array_equal(bind(a, b), bind(b, a))
+
+    def test_associative(self, a, b, c):
+        assert np.array_equal(bind(bind(a, b), c), bind(a, bind(b, c)))
+
+    def test_self_inverse(self, a, b):
+        assert np.array_equal(bind(bind(a, b), b), a)
+
+    def test_result_quasi_orthogonal_to_operands(self, a, b):
+        bound = bind(a, b)
+        bound_limit = expected_orthogonality_bound(DIMENSION)
+        assert abs(cosine_similarity(bound, a)) < bound_limit
+        assert abs(cosine_similarity(bound, b)) < bound_limit
+
+    def test_preserves_distance_structure(self, a, b, c):
+        # Binding both vectors with the same key preserves their similarity.
+        key = random_bipolar(DIMENSION, rng=9)
+        original = cosine_similarity(a, b)
+        bound = cosine_similarity(bind(a, key), bind(b, key))
+        assert original == pytest.approx(bound, abs=1e-12)
+
+    def test_multiple_operands(self, a, b, c):
+        assert np.array_equal(bind(a, b, c), bind(bind(a, b), c))
+
+    def test_requires_two_operands(self, a):
+        with pytest.raises(ValueError):
+            bind(a)
+
+    def test_shape_mismatch_rejected(self, a):
+        with pytest.raises(ValueError):
+            bind(a, random_bipolar(DIMENSION // 2, rng=0))
+
+
+class TestBundle:
+    def test_majority_vote_of_three(self):
+        vectors = np.array(
+            [[1, 1, -1, -1], [1, -1, -1, 1], [1, 1, 1, -1]], dtype=np.int8
+        )
+        bundled = bundle(vectors)
+        assert np.array_equal(bundled, np.array([1, 1, -1, -1], dtype=np.int8))
+
+    def test_result_similar_to_inputs(self, a, b, c):
+        bundled = bundle([a, b, c])
+        for vector in (a, b, c):
+            assert cosine_similarity(bundled, vector) > 0.3
+
+    def test_result_dissimilar_to_unrelated(self, a, b, c):
+        bundled = bundle([a, b, c])
+        unrelated = random_bipolar(DIMENSION, rng=99)
+        assert abs(cosine_similarity(bundled, unrelated)) < expected_orthogonality_bound(
+            DIMENSION
+        )
+
+    def test_unnormalized_returns_integer_sum(self, a, b):
+        raw = bundle([a, b], normalize=False)
+        assert raw.dtype == np.int64
+        assert np.array_equal(raw, a.astype(np.int64) + b.astype(np.int64))
+
+    def test_single_vector_bundle_is_identity(self, a):
+        assert np.array_equal(bundle([a]), a)
+
+    def test_tie_breaking_is_random_but_bipolar(self, a):
+        bundled = bundle([a, -a], rng=0)
+        assert set(np.unique(bundled)) <= {-1, 1}
+
+    def test_accepts_matrix_input(self, a, b):
+        matrix = np.vstack([a, b, a])
+        assert np.array_equal(bundle(matrix), bundle([a, b, a]))
+
+
+class TestNormalizeHard:
+    def test_sign_of_accumulator(self):
+        accumulator = np.array([5, -3, 2, -1])
+        assert np.array_equal(
+            normalize_hard(accumulator, rng=0)[np.array([0, 1, 2, 3])],
+            np.array([1, -1, 1, -1], dtype=np.int8),
+        )
+
+    def test_ties_resolved_to_bipolar(self):
+        accumulator = np.zeros(100, dtype=np.int64)
+        normalized = normalize_hard(accumulator, rng=0)
+        assert set(np.unique(normalized)) <= {-1, 1}
+
+    def test_deterministic_given_seed(self):
+        accumulator = np.zeros(50, dtype=np.int64)
+        assert np.array_equal(
+            normalize_hard(accumulator, rng=7), normalize_hard(accumulator, rng=7)
+        )
+
+
+class TestPermute:
+    def test_roll_by_one(self):
+        vector = np.array([1, 2, 3, 4])
+        assert np.array_equal(permute(vector, 1), np.array([4, 1, 2, 3]))
+
+    def test_inverse(self, a):
+        assert np.array_equal(permute(permute(a, 3), -3), a)
+
+    def test_full_cycle_is_identity(self, a):
+        assert np.array_equal(permute(a, DIMENSION), a)
+
+    def test_result_quasi_orthogonal(self, a):
+        assert abs(cosine_similarity(permute(a, 1), a)) < expected_orthogonality_bound(
+            DIMENSION
+        )
+
+
+class TestSimilarities:
+    def test_cosine_self_similarity(self, a):
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+    def test_cosine_negation(self, a):
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+
+    def test_cosine_random_pair_near_zero(self, a, b):
+        assert abs(cosine_similarity(a, b)) < expected_orthogonality_bound(DIMENSION)
+
+    def test_cosine_zero_vector(self, a):
+        assert cosine_similarity(a, np.zeros_like(a)) == 0.0
+
+    def test_hamming_self(self, a):
+        assert hamming_similarity(a, a) == 1.0
+
+    def test_hamming_negation(self, a):
+        assert hamming_similarity(a, -a) == 0.0
+
+    def test_hamming_random_pair_near_half(self, a, b):
+        assert 0.4 < hamming_similarity(a, b) < 0.6
+
+    def test_dot_matches_manual(self, a, b):
+        assert dot_similarity(a, b) == pytest.approx(float(np.dot(a, b)))
+
+    def test_dispatch(self, a, b):
+        assert similarity(a, b, "cosine") == cosine_similarity(a, b)
+        assert similarity(a, b, "hamming") == hamming_similarity(a, b)
+        assert similarity(a, b, "dot") == dot_similarity(a, b)
+
+    def test_unknown_metric_rejected(self, a, b):
+        with pytest.raises(ValueError):
+            similarity(a, b, "euclidean")
+
+    def test_shape_mismatch_rejected(self, a):
+        with pytest.raises(ValueError):
+            cosine_similarity(a, a[:-1])
+        with pytest.raises(ValueError):
+            hamming_similarity(a, a[:-1])
+
+
+class TestSimilarityMatrix:
+    def test_shape(self, a, b, c):
+        matrix = similarity_matrix([a, b], [a, b, c])
+        assert matrix.shape == (2, 3)
+
+    def test_cosine_matches_pairwise(self, a, b, c):
+        matrix = similarity_matrix([a, b], [b, c], metric="cosine")
+        assert matrix[0, 0] == pytest.approx(cosine_similarity(a, b))
+        assert matrix[1, 1] == pytest.approx(cosine_similarity(b, c))
+
+    def test_hamming_matches_pairwise(self, a, b):
+        matrix = similarity_matrix([a], [a, b], metric="hamming")
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[0, 1] == pytest.approx(hamming_similarity(a, b))
+
+    def test_dot_matches_pairwise(self, a, b):
+        matrix = similarity_matrix([a], [b], metric="dot")
+        assert matrix[0, 0] == pytest.approx(dot_similarity(a, b))
+
+    def test_dimension_mismatch_rejected(self, a):
+        with pytest.raises(ValueError):
+            similarity_matrix([a], [a[:-2]])
+
+    def test_unknown_metric_rejected(self, a, b):
+        with pytest.raises(ValueError):
+            similarity_matrix([a], [b], metric="manhattan")

@@ -1,0 +1,101 @@
+"""Tests for the kernel + SVM graph classifier with grid search."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import DEFAULT_C_GRID, KernelClassifier
+from repro.kernels.vertex_histogram import VertexHistogramKernel
+from repro.kernels.wl_optimal_assignment import WLOptimalAssignmentKernel
+from repro.kernels.wl_subtree import WLSubtreeKernel
+
+
+class TestDefaults:
+    def test_c_grid_matches_paper(self):
+        assert DEFAULT_C_GRID == tuple(10.0**e for e in range(-3, 4))
+
+    def test_empty_c_grid_rejected(self):
+        with pytest.raises(ValueError):
+            KernelClassifier(WLSubtreeKernel(), c_grid=())
+
+
+class TestFitPredict:
+    @pytest.fixture
+    def small_kernel_classifier(self):
+        kernel = WLSubtreeKernel()
+        kernel.grid = {"iterations": (1, 2)}
+        return KernelClassifier(kernel, c_grid=(1.0, 10.0), selection_folds=2, seed=0)
+
+    def test_learns_separable_dataset(self, two_class_dataset, small_kernel_classifier):
+        graphs = two_class_dataset.graphs
+        labels = two_class_dataset.labels
+        train_graphs, train_labels = graphs[:20], labels[:20]
+        test_graphs, test_labels = graphs[20:], labels[20:]
+        small_kernel_classifier.fit(train_graphs, train_labels)
+        accuracy = small_kernel_classifier.score(test_graphs, test_labels)
+        assert accuracy > 0.8
+
+    def test_best_parameters_recorded(self, two_class_dataset, small_kernel_classifier):
+        small_kernel_classifier.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        parameters = small_kernel_classifier.best_parameters_
+        assert parameters is not None
+        assert parameters["C"] in (1.0, 10.0)
+        assert parameters["iterations"] in (1, 2)
+        assert 0.0 <= parameters["cv_accuracy"] <= 1.0
+
+    def test_predict_before_fit_rejected(self, small_kernel_classifier, two_class_dataset):
+        with pytest.raises(RuntimeError):
+            small_kernel_classifier.predict(two_class_dataset.graphs)
+
+    def test_length_mismatch_rejected(self, small_kernel_classifier, two_class_dataset):
+        with pytest.raises(ValueError):
+            small_kernel_classifier.fit(
+                two_class_dataset.graphs, two_class_dataset.labels[:-1]
+            )
+
+    def test_works_without_normalization(self, two_class_dataset):
+        kernel = WLSubtreeKernel(iterations=2)
+        kernel.grid = {}
+        classifier = KernelClassifier(
+            kernel, c_grid=(1.0,), normalize=False, selection_folds=2, seed=0
+        )
+        classifier.fit(two_class_dataset.graphs[:20], two_class_dataset.labels[:20])
+        accuracy = classifier.score(
+            two_class_dataset.graphs[20:], two_class_dataset.labels[20:]
+        )
+        assert accuracy >= 0.5
+
+    def test_wl_oa_classifier(self, two_class_dataset):
+        kernel = WLOptimalAssignmentKernel()
+        kernel.grid = {"iterations": (1,)}
+        classifier = KernelClassifier(kernel, c_grid=(1.0,), selection_folds=2, seed=0)
+        classifier.fit(two_class_dataset.graphs[:20], two_class_dataset.labels[:20])
+        accuracy = classifier.score(
+            two_class_dataset.graphs[20:], two_class_dataset.labels[20:]
+        )
+        assert accuracy > 0.7
+
+    def test_vertex_histogram_classifier_runs(self, random_graph_dataset):
+        classifier = KernelClassifier(
+            VertexHistogramKernel(), c_grid=(1.0,), selection_folds=2, seed=0
+        )
+        classifier.fit(random_graph_dataset.graphs, random_graph_dataset.labels)
+        predictions = classifier.predict(random_graph_dataset.graphs)
+        assert len(predictions) == len(random_graph_dataset)
+        assert set(predictions) <= set(random_graph_dataset.labels)
+
+    def test_multiclass_support(self):
+        # Three classes distinguished by density of small random graphs.
+        from repro.graphs.generators import erdos_renyi_graph
+
+        rng = np.random.default_rng(0)
+        graphs, labels = [], []
+        for index in range(30):
+            label = index % 3
+            probability = (0.1, 0.4, 0.8)[label]
+            graphs.append(erdos_renyi_graph(12, probability, rng=rng, graph_label=label))
+            labels.append(label)
+        kernel = WLSubtreeKernel()
+        kernel.grid = {"iterations": (1,)}
+        classifier = KernelClassifier(kernel, c_grid=(1.0,), selection_folds=2, seed=0)
+        classifier.fit(graphs, labels)
+        assert classifier.score(graphs, labels) > 0.7

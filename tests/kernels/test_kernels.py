@@ -1,0 +1,209 @@
+"""Tests for the graph kernels (vertex histogram, shortest path, 1-WL, WL-OA)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.kernels.base import normalize_gram, sparse_feature_gram
+from repro.kernels.shortest_path import ShortestPathKernel, breadth_first_distances
+from repro.kernels.vertex_histogram import VertexHistogramKernel, vertex_histogram
+from repro.kernels.wl_optimal_assignment import WLOptimalAssignmentKernel
+from repro.kernels.wl_subtree import WLSubtreeKernel
+
+ALL_KERNELS = [
+    VertexHistogramKernel,
+    ShortestPathKernel,
+    WLSubtreeKernel,
+    WLOptimalAssignmentKernel,
+]
+
+
+class TestSparseFeatureGram:
+    def test_symmetric_gram(self):
+        features = [{1: 2.0, 2: 1.0}, {1: 1.0}, {3: 4.0}]
+        gram = sparse_feature_gram(features)
+        assert gram.shape == (3, 3)
+        assert np.array_equal(gram, gram.T)
+        assert gram[0, 0] == 5.0
+        assert gram[0, 1] == 2.0
+        assert gram[0, 2] == 0.0
+
+    def test_cross_gram(self):
+        rows = [{1: 1.0, 2: 2.0}]
+        cols = [{2: 3.0}, {1: 1.0}]
+        gram = sparse_feature_gram(rows, cols)
+        assert gram.shape == (1, 2)
+        assert gram[0, 0] == 6.0
+        assert gram[0, 1] == 1.0
+
+
+class TestNormalizeGram:
+    def test_unit_diagonal(self):
+        gram = np.array([[4.0, 2.0], [2.0, 9.0]])
+        normalized = normalize_gram(gram)
+        assert np.allclose(np.diag(normalized), 1.0)
+        assert normalized[0, 1] == pytest.approx(2.0 / 6.0)
+
+    def test_zero_diagonal_handled(self):
+        gram = np.array([[0.0, 0.0], [0.0, 4.0]])
+        normalized = normalize_gram(gram)
+        assert not np.any(np.isnan(normalized))
+
+    def test_cross_gram_requires_diagonals(self):
+        with pytest.raises(ValueError):
+            normalize_gram(np.zeros((2, 3)))
+
+    def test_cross_gram_with_diagonals(self):
+        cross = np.array([[2.0, 0.0]])
+        normalized = normalize_gram(cross, np.array([4.0]), np.array([1.0, 9.0]))
+        assert normalized[0, 0] == pytest.approx(1.0)
+
+
+class TestBreadthFirstDistances:
+    def test_path_distances(self, path_graph):
+        distances = breadth_first_distances(path_graph, 0)
+        assert list(distances) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        graph = Graph(4, [(0, 1)])
+        distances = breadth_first_distances(graph, 0)
+        assert distances[2] == -1
+        assert distances[3] == -1
+
+
+class TestVertexHistogram:
+    def test_uses_degrees_when_unlabelled(self, star_graph):
+        histogram = vertex_histogram(star_graph)
+        assert histogram == {5: 1.0, 1: 5.0}
+
+    def test_uses_labels_when_present(self, labelled_graph):
+        histogram = vertex_histogram(labelled_graph)
+        assert sum(histogram.values()) == labelled_graph.num_vertices
+        assert len(histogram) == 3  # C, N, O
+
+
+@pytest.mark.parametrize("kernel_class", ALL_KERNELS)
+class TestKernelContract:
+    """Properties every kernel implementation must satisfy."""
+
+    def test_gram_is_symmetric_psd(self, kernel_class, small_graph_collection):
+        kernel = kernel_class()
+        gram = kernel.fit_transform(small_graph_collection)
+        assert gram.shape == (6, 6)
+        assert np.allclose(gram, gram.T)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    def test_transform_matches_fit_transform(self, kernel_class, small_graph_collection):
+        kernel = kernel_class()
+        gram = kernel.fit_transform(small_graph_collection)
+        cross = kernel.transform(small_graph_collection)
+        assert np.allclose(cross, gram)
+
+    def test_self_similarity_matches_diagonal(self, kernel_class, small_graph_collection):
+        kernel = kernel_class()
+        gram = kernel.fit_transform(small_graph_collection)
+        for index, graph in enumerate(small_graph_collection):
+            assert kernel.self_similarity(graph) == pytest.approx(gram[index, index])
+
+    def test_isomorphic_graphs_have_equal_self_similarity(self, kernel_class):
+        first = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        second = Graph(4, [(3, 2), (2, 1), (1, 0)])
+        kernel = kernel_class()
+        gram = kernel.fit_transform([first, second])
+        assert gram[0, 0] == pytest.approx(gram[1, 1])
+        # An isomorphic pair is as similar to each other as to themselves.
+        assert gram[0, 1] == pytest.approx(gram[0, 0])
+
+    def test_transform_before_fit_rejected(self, kernel_class, small_graph_collection):
+        with pytest.raises(RuntimeError):
+            kernel_class().transform(small_graph_collection)
+
+    def test_clone_is_unfitted_copy(self, kernel_class):
+        kernel = kernel_class()
+        clone = kernel.clone()
+        assert type(clone) is type(kernel)
+        assert clone is not kernel
+
+
+class TestWLSubtreeKernel:
+    def test_iteration_grid_matches_paper(self):
+        assert WLSubtreeKernel.grid["iterations"] == (0, 1, 2, 3, 4, 5)
+
+    def test_zero_iterations_counts_vertices(self, small_graph_collection):
+        kernel = WLSubtreeKernel(iterations=0)
+        gram = kernel.fit_transform(small_graph_collection)
+        for i, graph_i in enumerate(small_graph_collection):
+            for j, graph_j in enumerate(small_graph_collection):
+                assert gram[i, j] == graph_i.num_vertices * graph_j.num_vertices
+
+    def test_more_iterations_distinguish_structure(self):
+        path = Graph(6, [(i, i + 1) for i in range(5)])
+        star = Graph(6, [(0, i) for i in range(1, 6)])
+        shallow = WLSubtreeKernel(iterations=0)
+        deep = WLSubtreeKernel(iterations=3)
+        gram_shallow = normalize_gram(shallow.fit_transform([path, star]))
+        gram_deep = normalize_gram(deep.fit_transform([path, star]))
+        assert gram_deep[0, 1] < gram_shallow[0, 1]
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            WLSubtreeKernel(iterations=-1)
+
+    def test_transform_on_new_graphs(self, small_graph_collection):
+        kernel = WLSubtreeKernel(iterations=2)
+        kernel.fit_transform(small_graph_collection[:4])
+        cross = kernel.transform(small_graph_collection[4:])
+        assert cross.shape == (2, 4)
+        assert np.all(cross >= 0)
+
+
+class TestWLOptimalAssignmentKernel:
+    def test_self_similarity_formula(self, path_graph):
+        kernel = WLOptimalAssignmentKernel(iterations=3)
+        assert kernel.self_similarity(path_graph) == 4 * path_graph.num_vertices
+
+    def test_bounded_by_smaller_graph(self):
+        small = Graph(3, [(0, 1), (1, 2)])
+        large = Graph(10, [(i, i + 1) for i in range(9)])
+        kernel = WLOptimalAssignmentKernel(iterations=2)
+        gram = kernel.fit_transform([small, large])
+        # The optimal assignment can match at most min(|V1|, |V2|) vertices per round.
+        assert gram[0, 1] <= 3 * 3
+
+    def test_histogram_intersection_bounded_by_self_similarity(
+        self, small_graph_collection
+    ):
+        kernel = WLOptimalAssignmentKernel(iterations=2)
+        gram = kernel.fit_transform(small_graph_collection)
+        diagonal = np.diag(gram)
+        for i in range(len(small_graph_collection)):
+            for j in range(len(small_graph_collection)):
+                assert gram[i, j] <= min(diagonal[i], diagonal[j]) + 1e-9
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            WLOptimalAssignmentKernel(iterations=-1)
+
+    def test_transform_on_new_graphs(self, small_graph_collection):
+        kernel = WLOptimalAssignmentKernel(iterations=2)
+        kernel.fit_transform(small_graph_collection[:4])
+        cross = kernel.transform(small_graph_collection[4:])
+        assert cross.shape == (2, 4)
+
+
+class TestShortestPathKernel:
+    def test_features_count_pairs(self, path_graph):
+        kernel = ShortestPathKernel()
+        value = kernel.self_similarity(path_graph)
+        # Path on 5 vertices: distances 1 (x4), 2 (x3), 3 (x2), 4 (x1).
+        assert value == 4 * 4 + 3 * 3 + 2 * 2 + 1 * 1
+
+    def test_max_distance_truncation(self, path_graph):
+        truncated = ShortestPathKernel(max_distance=1)
+        assert truncated.self_similarity(path_graph) == 16.0
+
+    def test_disconnected_pairs_ignored(self):
+        graph = Graph(4, [(0, 1)])
+        kernel = ShortestPathKernel()
+        assert kernel.self_similarity(graph) == 1.0

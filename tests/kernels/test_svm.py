@@ -1,0 +1,146 @@
+"""Tests for the SMO-trained SVM on precomputed kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.svm import SVC, OneVsRestSVC
+
+
+def linear_gram(features):
+    features = np.asarray(features, dtype=np.float64)
+    return features @ features.T
+
+
+def linear_cross_gram(queries, references):
+    return np.asarray(queries, dtype=np.float64) @ np.asarray(references, dtype=np.float64).T
+
+
+@pytest.fixture
+def separable_data():
+    rng = np.random.default_rng(0)
+    positive = rng.normal(loc=+2.0, scale=0.5, size=(20, 2))
+    negative = rng.normal(loc=-2.0, scale=0.5, size=(20, 2))
+    features = np.vstack([positive, negative])
+    targets = np.array([1.0] * 20 + [-1.0] * 20)
+    return features, targets
+
+
+class TestSVC:
+    def test_separable_training_accuracy(self, separable_data):
+        features, targets = separable_data
+        gram = linear_gram(features)
+        svm = SVC(C=1.0, seed=0).fit(gram, targets)
+        predictions = svm.predict(gram)
+        assert np.mean(predictions == targets) > 0.95
+
+    def test_generalizes_to_new_points(self, separable_data):
+        features, targets = separable_data
+        gram = linear_gram(features)
+        svm = SVC(C=1.0, seed=0).fit(gram, targets)
+        queries = np.array([[3.0, 3.0], [-3.0, -3.0]])
+        cross = linear_cross_gram(queries, features)
+        predictions = svm.predict(cross)
+        assert predictions[0] == 1.0
+        assert predictions[1] == -1.0
+
+    def test_decision_function_sign_matches_predictions(self, separable_data):
+        features, targets = separable_data
+        gram = linear_gram(features)
+        svm = SVC(C=1.0, seed=0).fit(gram, targets)
+        scores = svm.decision_function(gram)
+        predictions = svm.predict(gram)
+        assert np.all((scores >= 0) == (predictions == 1.0))
+
+    def test_support_vectors_subset(self, separable_data):
+        features, targets = separable_data
+        gram = linear_gram(features)
+        svm = SVC(C=1.0, seed=0).fit(gram, targets)
+        support = svm.support_indices_
+        assert 0 < len(support) <= len(targets)
+
+    def test_single_query_row_accepted(self, separable_data):
+        features, targets = separable_data
+        svm = SVC(C=1.0, seed=0).fit(linear_gram(features), targets)
+        row = linear_cross_gram(features[:1], features)[0]
+        assert svm.decision_function(row).shape == (1,)
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+
+    def test_non_square_gram_rejected(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((3, 4)), [1, -1, 1])
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.eye(3), [0, 1, 2])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.eye(3), [1, -1])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SVC().decision_function(np.zeros((1, 3)))
+
+    def test_cross_gram_column_mismatch_rejected(self, separable_data):
+        features, targets = separable_data
+        svm = SVC(seed=0).fit(linear_gram(features), targets)
+        with pytest.raises(ValueError):
+            svm.decision_function(np.zeros((2, 7)))
+
+    def test_soft_margin_on_overlapping_classes(self):
+        # Overlapping classes: training must still terminate and produce a
+        # model that beats chance on the training data.
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(30, 2))
+        targets = np.where(features[:, 0] + 0.1 * rng.normal(size=30) > 0, 1.0, -1.0)
+        gram = linear_gram(features)
+        svm = SVC(C=1.0, seed=0).fit(gram, targets)
+        accuracy = np.mean(svm.predict(gram) == targets)
+        assert accuracy > 0.6
+
+
+class TestOneVsRestSVC:
+    def test_binary_problem(self, separable_data):
+        features, targets = separable_data
+        labels = ["pos" if target > 0 else "neg" for target in targets]
+        gram = linear_gram(features)
+        classifier = OneVsRestSVC(C=1.0).fit(gram, labels)
+        predictions = classifier.predict(gram)
+        accuracy = np.mean([p == a for p, a in zip(predictions, labels)])
+        assert accuracy > 0.95
+        assert set(classifier.classes_) == {"pos", "neg"}
+
+    def test_multiclass_problem(self):
+        rng = np.random.default_rng(0)
+        centers = {0: (4, 0), 1: (-4, 0), 2: (0, 4)}
+        features, labels = [], []
+        for label, center in centers.items():
+            points = rng.normal(loc=center, scale=0.5, size=(15, 2))
+            features.append(points)
+            labels.extend([label] * 15)
+        features = np.vstack(features)
+        gram = linear_gram(features)
+        classifier = OneVsRestSVC(C=1.0).fit(gram, labels)
+        predictions = classifier.predict(gram)
+        accuracy = np.mean([p == a for p, a in zip(predictions, labels)])
+        assert accuracy > 0.9
+        assert len(classifier._machines) == 3
+
+    def test_decision_function_shape(self, separable_data):
+        features, targets = separable_data
+        labels = [int(target) for target in targets]
+        gram = linear_gram(features)
+        classifier = OneVsRestSVC().fit(gram, labels)
+        scores = classifier.decision_function(gram)
+        assert scores.shape == (40, 2)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestSVC().fit(np.eye(3), ["a", "a", "a"])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestSVC().decision_function(np.zeros((1, 3)))

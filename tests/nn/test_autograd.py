@@ -1,0 +1,194 @@
+"""Tests for the reverse-mode autodiff engine."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.nn.autograd import Tensor, concatenate, no_grad, parameter, sparse_matmul
+
+
+def numerical_gradient(function, value, epsilon=1e-6):
+    """Central-difference numerical gradient of a scalar function of an array."""
+    value = np.asarray(value, dtype=np.float64)
+    gradient = np.zeros_like(value)
+    flat_value = value.ravel()
+    flat_gradient = gradient.ravel()
+    for index in range(flat_value.size):
+        original = flat_value[index]
+        flat_value[index] = original + epsilon
+        upper = function(value)
+        flat_value[index] = original - epsilon
+        lower = function(value)
+        flat_value[index] = original
+        flat_gradient[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare the autograd gradient of a scalar loss with a numerical estimate."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    leaf = parameter(data.copy())
+    loss = build_loss(leaf)
+    loss.backward()
+    analytic = leaf.grad
+
+    def scalar_loss(array):
+        return build_loss(Tensor(array)).item()
+
+    numeric = numerical_gradient(scalar_loss, data.copy())
+    assert analytic is not None
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"gradient mismatch: max abs diff {np.abs(analytic - numeric).max()}"
+    )
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        check_gradient(lambda x: (x + 3.0).sum(), (4, 3))
+
+    def test_mul_backward(self):
+        check_gradient(lambda x: (x * x).sum(), (5,))
+
+    def test_sub_and_neg_backward(self):
+        check_gradient(lambda x: ((-x) - 2.0 * x).sum(), (3, 2))
+
+    def test_div_backward(self):
+        check_gradient(lambda x: (x / 2.5).sum(), (4,))
+
+    def test_pow_backward(self):
+        check_gradient(lambda x: (x**3).sum(), (6,))
+
+    def test_matmul_backward(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(3, 2))
+        check_gradient(lambda x: (x @ Tensor(other)).sum(), (4, 3))
+
+    def test_relu_backward(self):
+        check_gradient(lambda x: x.relu().sum(), (10,))
+
+    def test_exp_log_backward(self):
+        check_gradient(lambda x: (x.exp() + 1.0).log().sum(), (5,))
+
+    def test_sum_axis_backward(self):
+        check_gradient(lambda x: (x.sum(axis=0) * 2.0).sum(), (3, 4))
+
+    def test_mean_backward(self):
+        check_gradient(lambda x: x.mean(), (7,))
+
+    def test_reshape_transpose_backward(self):
+        check_gradient(lambda x: (x.reshape(2, 6).T * 3.0).sum(), (3, 4))
+
+    def test_log_softmax_backward(self):
+        check_gradient(lambda x: (x.log_softmax(axis=-1) ** 2).sum(), (3, 5))
+
+    def test_broadcast_add_backward(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(4, 3))
+        check_gradient(lambda b: (Tensor(matrix) + b).sum(), (3,))
+
+    def test_broadcast_mul_backward(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(4, 3))
+        check_gradient(lambda b: ((Tensor(matrix) * b) ** 2).sum(), (3,))
+
+    def test_concatenate_backward(self):
+        rng = np.random.default_rng(4)
+        other = rng.normal(size=(2, 3))
+        check_gradient(
+            lambda x: concatenate([x, Tensor(other)], axis=1).sum(), (2, 4)
+        )
+
+
+class TestSparseMatmul:
+    def test_forward_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((5, 5)) < 0.4).astype(float)
+        matrix = sparse.csr_matrix(dense)
+        features = rng.normal(size=(5, 3))
+        result = sparse_matmul(matrix, Tensor(features))
+        assert np.allclose(result.data, dense @ features)
+
+    def test_backward_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((6, 6)) < 0.3).astype(float)
+        matrix = sparse.csr_matrix(dense)
+        check_gradient(lambda x: (sparse_matmul(matrix, x) ** 2).sum(), (6, 4))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        x = parameter(np.array([2.0]))
+        loss = (x * 3.0 + x * 4.0).sum()
+        loss.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = parameter(np.array([1.5]))
+        y = x * 2.0
+        z = x * 3.0
+        loss = (y * z).sum()
+        loss.backward()
+        # d/dx (6 x^2) = 12 x
+        assert x.grad[0] == pytest.approx(18.0)
+
+    def test_zero_grad(self):
+        x = parameter(np.ones(3))
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_scalar(self):
+        x = parameter(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = parameter(np.ones(3))
+        y = x * 2.0
+        y.backward(np.array([1.0, 0.0, 2.0]))
+        assert np.allclose(x.grad, [2.0, 0.0, 4.0])
+
+    def test_no_grad_disables_tracking(self):
+        x = parameter(np.ones(3))
+        with no_grad():
+            y = x * 2.0
+        assert y._backward is None
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = parameter(np.ones(3))
+        y = (x * 2.0).detach()
+        z = (y * 3.0).sum()
+        z.backward()
+        assert x.grad is None
+
+    def test_constants_receive_no_grad(self):
+        x = parameter(np.ones(2))
+        constant = Tensor(np.ones(2))
+        (x * constant).sum().backward()
+        assert constant.grad is None
+        assert x.grad is not None
+
+    def test_item_and_numpy(self):
+        x = Tensor(np.array([3.5]))
+        assert x.item() == 3.5
+        assert x.numpy() is x.data
+        assert x.shape == (1,)
+        assert len(x) == 1
+
+    def test_repeated_backward_accumulates(self):
+        x = parameter(np.array([1.0]))
+        loss = (x * 5.0).sum()
+        loss.backward()
+        loss.backward()
+        assert x.grad[0] == pytest.approx(10.0)
+
+    def test_concatenate_single_tensor(self):
+        x = Tensor(np.ones(3))
+        assert concatenate([x]) is x
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])

@@ -1,0 +1,113 @@
+"""Tests for graph mini-batching."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.nn.batching import (
+    batch_graphs,
+    constant_feature_matrix,
+    degree_feature_matrix,
+    iterate_minibatches,
+)
+
+
+class TestFeatureMatrices:
+    def test_degree_features_one_hot(self, star_graph):
+        features = degree_feature_matrix([star_graph], max_degree=8)
+        assert features.shape == (6, 9)
+        assert features[0, 5] == 1.0
+        assert features[1, 1] == 1.0
+        assert np.all(features.sum(axis=1) == 1.0)
+
+    def test_degree_capped(self, star_graph):
+        features = degree_feature_matrix([star_graph], max_degree=3)
+        assert features[0, 3] == 1.0
+
+    def test_constant_features(self, triangle_graph, path_graph):
+        features = constant_feature_matrix([triangle_graph, path_graph])
+        assert features.shape == (8, 1)
+        assert np.all(features == 1.0)
+
+
+class TestBatchGraphs:
+    def test_block_diagonal_adjacency(self, triangle_graph, path_graph):
+        batch = batch_graphs([triangle_graph, path_graph], class_to_index={0: 0, 1: 1})
+        adjacency = batch.adjacency.toarray()
+        assert adjacency.shape == (8, 8)
+        # No edges between the two graphs' blocks.
+        assert np.all(adjacency[:3, 3:] == 0)
+        assert np.all(adjacency[3:, :3] == 0)
+
+    def test_pooling_matrix_sums_nodes_per_graph(self, triangle_graph, path_graph):
+        batch = batch_graphs([triangle_graph, path_graph], class_to_index={0: 0, 1: 1})
+        pooled = batch.pooling @ np.ones((8, 1))
+        assert pooled[0, 0] == 3
+        assert pooled[1, 0] == 5
+
+    def test_labels_mapped_to_indices(self, triangle_graph, path_graph):
+        batch = batch_graphs(
+            [triangle_graph, path_graph], class_to_index={0: 7, 1: 9}
+        )
+        assert list(batch.labels) == [7, 9]
+
+    def test_no_labels_when_class_map_missing(self, triangle_graph):
+        batch = batch_graphs([triangle_graph])
+        assert batch.labels is None
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+    def test_num_graphs(self, small_graph_collection):
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        assert batch.num_graphs == len(small_graph_collection)
+
+    def test_constant_features_option(self, triangle_graph):
+        batch = batch_graphs([triangle_graph], degree_features=False)
+        assert batch.node_features.shape == (3, 1)
+
+
+class TestIterateMinibatches:
+    def test_covers_all_graphs(self, small_graph_collection):
+        batches = list(
+            iterate_minibatches(
+                small_graph_collection,
+                batch_size=4,
+                class_to_index={0: 0, 1: 1},
+                shuffle=False,
+            )
+        )
+        assert sum(batch.num_graphs for batch in batches) == len(small_graph_collection)
+        assert len(batches) == 2
+
+    def test_shuffle_reproducible(self, small_graph_collection):
+        first = [
+            batch.labels.tolist()
+            for batch in iterate_minibatches(
+                small_graph_collection,
+                batch_size=3,
+                class_to_index={0: 0, 1: 1},
+                shuffle=True,
+                rng=0,
+            )
+        ]
+        second = [
+            batch.labels.tolist()
+            for batch in iterate_minibatches(
+                small_graph_collection,
+                batch_size=3,
+                class_to_index={0: 0, 1: 1},
+                shuffle=True,
+                rng=0,
+            )
+        ]
+        assert first == second
+
+    def test_invalid_batch_size(self, small_graph_collection):
+        with pytest.raises(ValueError):
+            list(
+                iterate_minibatches(
+                    small_graph_collection, batch_size=0, class_to_index={0: 0, 1: 1}
+                )
+            )

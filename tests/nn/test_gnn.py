@@ -1,0 +1,133 @@
+"""Tests for the GIN models and the GNN trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.batching import batch_graphs
+from repro.nn.gnn import GINClassifier, GINConv, GINJKClassifier
+from repro.nn.training import GNNTrainer, TrainingConfig
+
+
+class TestGINConv:
+    def test_output_shape(self, small_graph_collection):
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        convolution = GINConv(batch.node_features.shape[1], 16, rng=0)
+        output = convolution(Tensor(batch.node_features), batch.adjacency)
+        assert output.shape == (batch.node_features.shape[0], 16)
+
+    def test_epsilon_is_trainable(self):
+        convolution = GINConv(4, 8, rng=0)
+        assert any(parameter is convolution.epsilon for parameter in convolution.parameters())
+
+    def test_isolated_vertex_uses_own_features(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(2, [], graph_label=0)
+        batch = batch_graphs([graph], class_to_index={0: 0}, degree_features=False)
+        convolution = GINConv(1, 4, use_batch_norm=False, rng=0)
+        output = convolution(Tensor(batch.node_features), batch.adjacency)
+        # Both isolated vertices have identical features, so identical outputs.
+        assert np.allclose(output.data[0], output.data[1])
+
+
+class TestGINClassifiers:
+    @pytest.mark.parametrize("model_class", [GINClassifier, GINJKClassifier])
+    def test_logit_shape(self, model_class, small_graph_collection):
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        model = model_class(batch.node_features.shape[1], 2, hidden_features=8, seed=0)
+        logits = model(batch)
+        assert logits.shape == (len(small_graph_collection), 2)
+
+    @pytest.mark.parametrize("model_class", [GINClassifier, GINJKClassifier])
+    def test_all_parameters_receive_gradients(self, model_class, small_graph_collection):
+        from repro.nn.losses import cross_entropy
+
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        model = model_class(
+            batch.node_features.shape[1], 2, hidden_features=8, dropout=0.0, seed=0
+        )
+        loss = cross_entropy(model(batch), batch.labels)
+        loss.backward()
+        with_gradient = [p for p in model.parameters() if p.grad is not None]
+        assert len(with_gradient) == len(model.parameters())
+
+    def test_multiple_layers_supported(self, small_graph_collection):
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        model = GINClassifier(
+            batch.node_features.shape[1], 2, hidden_features=8, num_layers=3, seed=0
+        )
+        assert model(batch).shape == (len(small_graph_collection), 2)
+
+    def test_jk_readout_concatenates_layers(self, small_graph_collection):
+        batch = batch_graphs(small_graph_collection, class_to_index={0: 0, 1: 1})
+        in_features = batch.node_features.shape[1]
+        model = GINJKClassifier(in_features, 2, hidden_features=8, num_layers=2, seed=0)
+        assert model.readout.in_features == in_features + 8 * 2
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            GINClassifier(4, 2, num_layers=0)
+        with pytest.raises(ValueError):
+            GINJKClassifier(4, 2, num_layers=0)
+
+
+class TestGNNTrainer:
+    def test_paper_default_configuration(self):
+        config = TrainingConfig()
+        assert config.hidden_features == 32
+        assert config.num_layers == 1
+        assert config.batch_size == 128
+        assert config.learning_rate == pytest.approx(0.01)
+        assert config.scheduler_patience == 5
+        assert config.scheduler_factor == pytest.approx(0.5)
+        assert config.min_learning_rate == pytest.approx(1e-6)
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            GNNTrainer("gcn")
+
+    def test_learns_separable_dataset(self, two_class_dataset):
+        config = TrainingConfig(epochs=30, hidden_features=16, batch_size=16, seed=0)
+        trainer = GNNTrainer("gin", config)
+        trainer.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        accuracy = trainer.score(two_class_dataset.graphs, two_class_dataset.labels)
+        assert accuracy > 0.8
+
+    def test_jk_variant_learns(self, two_class_dataset):
+        config = TrainingConfig(epochs=30, hidden_features=16, batch_size=16, seed=0)
+        trainer = GNNTrainer("gin-jk", config)
+        trainer.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        accuracy = trainer.score(two_class_dataset.graphs, two_class_dataset.labels)
+        assert accuracy > 0.8
+
+    def test_history_recorded(self, two_class_dataset):
+        config = TrainingConfig(epochs=5, hidden_features=8, batch_size=16, seed=0)
+        trainer = GNNTrainer("gin", config)
+        trainer.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert trainer.history is not None
+        assert len(trainer.history.losses) == 5
+        assert len(trainer.history.accuracies) == 5
+        assert trainer.history.wall_time_seconds > 0
+
+    def test_loss_decreases(self, two_class_dataset):
+        config = TrainingConfig(epochs=20, hidden_features=16, batch_size=16, seed=0)
+        trainer = GNNTrainer("gin", config)
+        trainer.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        losses = trainer.history.losses
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_predict_before_fit_rejected(self, two_class_dataset):
+        with pytest.raises(RuntimeError):
+            GNNTrainer().predict(two_class_dataset.graphs)
+
+    def test_length_mismatch_rejected(self, two_class_dataset):
+        with pytest.raises(ValueError):
+            GNNTrainer().fit(two_class_dataset.graphs, two_class_dataset.labels[:-1])
+
+    def test_predictions_use_original_labels(self, two_class_dataset):
+        config = TrainingConfig(epochs=3, hidden_features=8, batch_size=16, seed=0)
+        trainer = GNNTrainer("gin", config)
+        trainer.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        predictions = trainer.predict(two_class_dataset.graphs[:5])
+        assert set(predictions) <= set(two_class_dataset.labels)

@@ -1,0 +1,176 @@
+"""Tests for the neural network layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import MLP, BatchNorm1d, Dropout, Linear, Module, ReLU, Sequential
+
+
+class TestModule:
+    def test_parameters_collected_from_attributes_and_children(self):
+        class Model(Module):
+            def __init__(self):
+                self.layer = Linear(4, 3, rng=0)
+                self.head = Linear(3, 2, rng=1)
+
+            def forward(self, x):
+                return self.head(self.layer(x))
+
+        model = Model()
+        # Two weights and two biases.
+        assert len(model.parameters()) == 4
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_parameters_collected_from_lists(self):
+        class Model(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, rng=0), Linear(2, 2, rng=1)]
+
+            def forward(self, x):
+                for layer in self.layers:
+                    x = layer(x)
+                return x
+
+        assert len(Model().parameters()) == 4
+
+    def test_zero_grad(self):
+        layer = Linear(3, 2, rng=0)
+        output = layer(Tensor(np.ones((4, 3)))).sum()
+        output.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(3, 3, rng=0), Dropout(0.5), ReLU())
+        model.eval()
+        assert all(not module.training for module in model)
+        model.train()
+        assert all(module.training for module in model)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=0)
+        output = layer(Tensor(np.random.default_rng(0).normal(size=(7, 5))))
+        assert output.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(5, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_forward_matches_manual(self):
+        layer = Linear(4, 2, rng=0)
+        inputs = np.random.default_rng(1).normal(size=(3, 4))
+        expected = inputs @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(inputs)).data, expected)
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 2, rng=0)
+        loss = (layer(Tensor(np.ones((3, 4)))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, 0)
+
+    def test_glorot_initialization_scale(self):
+        layer = Linear(100, 100, rng=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+        assert np.abs(layer.weight.data).std() > 0
+
+
+class TestReLUAndDropout:
+    def test_relu_clips_negatives(self):
+        output = ReLU()(Tensor(np.array([-1.0, 0.0, 2.0])))
+        assert np.array_equal(output.data, [0.0, 0.0, 2.0])
+
+    def test_dropout_identity_in_eval(self):
+        dropout = Dropout(0.5, rng=0)
+        dropout.eval()
+        inputs = np.ones((10, 10))
+        assert np.array_equal(dropout(Tensor(inputs)).data, inputs)
+
+    def test_dropout_zero_probability_is_identity(self):
+        dropout = Dropout(0.0)
+        inputs = np.ones((5, 5))
+        assert np.array_equal(dropout(Tensor(inputs)).data, inputs)
+
+    def test_dropout_scales_kept_units(self):
+        dropout = Dropout(0.5, rng=0)
+        outputs = dropout(Tensor(np.ones((2000,)))).data
+        kept = outputs[outputs > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.3 < (len(kept) / 2000) < 0.7
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_statistics(self):
+        layer = BatchNorm1d(4)
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        outputs = layer(Tensor(inputs)).data
+        assert np.allclose(outputs.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(outputs.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_used_in_eval(self):
+        layer = BatchNorm1d(3, momentum=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            layer(Tensor(rng.normal(loc=2.0, size=(50, 3))))
+        layer.eval()
+        outputs = layer(Tensor(np.full((10, 3), 2.0))).data
+        assert np.abs(outputs).max() < 0.5
+
+    def test_learnable_scale_and_shift(self):
+        layer = BatchNorm1d(2)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        inputs = np.random.default_rng(0).normal(size=(100, 2))
+        outputs = layer(Tensor(inputs)).data
+        assert np.allclose(outputs.mean(axis=0), 1.0, atol=1e-6)
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 3, rng=0), ReLU())
+        output = model(Tensor(np.random.default_rng(0).normal(size=(5, 3))))
+        assert output.shape == (5, 3)
+        assert np.all(output.data >= 0)
+
+    def test_sequential_len_iter(self):
+        model = Sequential(ReLU(), ReLU())
+        assert len(model) == 2
+        assert all(isinstance(module, ReLU) for module in model)
+
+    def test_mlp_structure(self):
+        mlp = MLP(4, 8, 2, rng=0)
+        output = mlp(Tensor(np.random.default_rng(0).normal(size=(6, 4))))
+        assert output.shape == (6, 2)
+
+    def test_mlp_without_batch_norm(self):
+        mlp = MLP(4, 8, 2, use_batch_norm=False, rng=0)
+        assert len(mlp) == 3
+
+    def test_mlp_is_trainable(self):
+        mlp = MLP(3, 6, 2, rng=0)
+        loss = (mlp(Tensor(np.ones((4, 3)))) ** 2).sum()
+        loss.backward()
+        assert all(parameter.grad is not None for parameter in mlp.parameters())

@@ -1,0 +1,197 @@
+"""Tests for optimizers, the LR scheduler, and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, parameter
+from repro.nn.losses import accuracy_from_logits, cross_entropy
+from repro.nn.optim import SGD, Adam, ReduceLROnPlateau
+
+
+def quadratic_loss(weights: Tensor) -> Tensor:
+    """A simple convex objective with minimum at (1, -2, 3)."""
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    return ((weights - target) ** 2).sum()
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        weights = parameter(np.zeros(3))
+        optimizer = SGD([weights], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = quadratic_loss(weights)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(weights.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain_weights = parameter(np.zeros(3))
+        momentum_weights = parameter(np.zeros(3))
+        plain = SGD([plain_weights], learning_rate=0.01)
+        with_momentum = SGD([momentum_weights], learning_rate=0.01, momentum=0.9)
+        for _ in range(50):
+            for optimizer, weights in ((plain, plain_weights), (with_momentum, momentum_weights)):
+                optimizer.zero_grad()
+                quadratic_loss(weights).backward()
+                optimizer.step()
+        assert quadratic_loss(momentum_weights).item() < quadratic_loss(plain_weights).item()
+
+    def test_weight_decay_shrinks_weights(self):
+        weights = parameter(np.ones(3) * 10.0)
+        optimizer = SGD([weights], learning_rate=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (weights.sum() * 0.0).backward()
+        optimizer.step()
+        assert np.all(np.abs(weights.data) < 10.0)
+
+    def test_parameters_without_grad_skipped(self):
+        weights = parameter(np.ones(3))
+        optimizer = SGD([weights], learning_rate=0.1)
+        optimizer.step()  # no gradient accumulated; must not crash
+        assert np.allclose(weights.data, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ValueError):
+            SGD([parameter(np.ones(1))], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter(np.ones(1))], learning_rate=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        weights = parameter(np.zeros(3))
+        optimizer = Adam([weights], learning_rate=0.05)
+        for _ in range(500):
+            optimizer.zero_grad()
+            quadratic_loss(weights).backward()
+            optimizer.step()
+        assert np.allclose(weights.data, [1.0, -2.0, 3.0], atol=1e-2)
+
+    def test_default_learning_rate_matches_paper(self):
+        optimizer = Adam([parameter(np.ones(1))])
+        assert optimizer.learning_rate == pytest.approx(0.01)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_step_count_increments(self):
+        weights = parameter(np.ones(2))
+        optimizer = Adam([weights], learning_rate=0.01)
+        optimizer.zero_grad()
+        (weights * 2.0).sum().backward()
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._step_count == 2
+
+
+class TestReduceLROnPlateau:
+    def test_reduces_after_patience_exceeded(self):
+        optimizer = SGD([parameter(np.ones(1))], learning_rate=1.0)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=2)
+        scheduler.step(1.0)
+        # No improvement for patience + 1 epochs triggers a reduction.
+        assert not scheduler.step(1.0)
+        assert not scheduler.step(1.0)
+        assert scheduler.step(1.0)
+        assert optimizer.learning_rate == pytest.approx(0.5)
+
+    def test_improvement_resets_counter(self):
+        optimizer = SGD([parameter(np.ones(1))], learning_rate=1.0)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(1.0)
+        scheduler.step(1.1)
+        scheduler.step(0.9)  # improvement
+        scheduler.step(1.0)
+        reduced = scheduler.step(1.0)
+        assert reduced
+        assert optimizer.learning_rate == pytest.approx(0.5)
+
+    def test_minimum_learning_rate_respected(self):
+        optimizer = SGD([parameter(np.ones(1))], learning_rate=1e-6)
+        scheduler = ReduceLROnPlateau(
+            optimizer, factor=0.5, patience=0, min_learning_rate=1e-6
+        )
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        assert optimizer.learning_rate == pytest.approx(1e-6)
+
+    def test_max_mode(self):
+        optimizer = SGD([parameter(np.ones(1))], learning_rate=1.0)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=0, mode="max")
+        scheduler.step(0.5)
+        scheduler.step(0.6)  # improvement in max mode
+        assert optimizer.learning_rate == pytest.approx(1.0)
+        scheduler.step(0.4)
+        scheduler.step(0.4)
+        assert optimizer.learning_rate < 1.0
+
+    def test_paper_schedule_defaults(self):
+        optimizer = Adam([parameter(np.ones(1))], learning_rate=0.01)
+        scheduler = ReduceLROnPlateau(optimizer)
+        assert scheduler.factor == pytest.approx(0.5)
+        assert scheduler.patience == 5
+        assert scheduler.min_learning_rate == pytest.approx(1e-6)
+
+    def test_validation(self):
+        optimizer = SGD([parameter(np.ones(1))], learning_rate=1.0)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(optimizer, factor=1.5)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(optimizer, patience=-1)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(optimizer, mode="median")
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3.0))
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(3, 4))
+        logits = parameter(logits_data)
+        targets = np.array([1, 0, 3])
+        cross_entropy(logits, targets).backward()
+        shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+        softmax = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        one_hot = np.zeros_like(softmax)
+        one_hot[np.arange(3), targets] = 1.0
+        expected = (softmax - one_hot) / 3
+        assert np.allclose(logits.grad, expected, atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 5]))
+
+
+class TestAccuracyFromLogits:
+    def test_all_correct(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert accuracy_from_logits(logits, np.array([0, 1])) == 1.0
+
+    def test_half_correct(self):
+        logits = np.array([[2.0, 1.0], [5.0, 3.0]])
+        assert accuracy_from_logits(logits, np.array([0, 1])) == 0.5
+
+    def test_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy_from_logits(logits, np.array([0])) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_from_logits(np.zeros((0, 2)), np.array([], dtype=int))

