@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
+from repro.hdc.backend import BACKEND_NAMES
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.datasets.splits import train_test_split
 from repro.eval.comparison import compare_methods
@@ -29,6 +30,16 @@ from repro.eval.methods import METHOD_NAMES
 from repro.eval.reporting import render_figure3, render_series, render_table
 from repro.eval.robustness import graphhd_robustness_curve
 from repro.eval.scaling import scaling_experiment
+
+
+def _add_backend_argument(parser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="dense",
+        help="GraphHD compute backend: dense int8 bipolar (paper) or "
+        "bit-packed uint64 binary (XOR/popcount, ~8x less memory)",
+    )
 
 
 def _add_quickstart_parser(subparsers) -> None:
@@ -40,6 +51,7 @@ def _add_quickstart_parser(subparsers) -> None:
     parser.add_argument("--dimension", type=int, default=10_000, help="hypervector dimensionality")
     parser.add_argument("--folds", type=int, default=5, help="number of cross-validation folds")
     parser.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(parser)
 
 
 def _add_compare_parser(subparsers) -> None:
@@ -54,6 +66,7 @@ def _add_compare_parser(subparsers) -> None:
     parser.add_argument("--dimension", type=int, default=10_000)
     parser.add_argument("--fast", action="store_true", help="use reduced baseline settings")
     parser.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(parser)
 
 
 def _add_scaling_parser(subparsers) -> None:
@@ -67,6 +80,7 @@ def _add_scaling_parser(subparsers) -> None:
     parser.add_argument("--dimension", type=int, default=10_000)
     parser.add_argument("--fast", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(parser)
 
 
 def _add_robustness_parser(subparsers) -> None:
@@ -85,10 +99,15 @@ def _add_robustness_parser(subparsers) -> None:
     parser.add_argument("--dimension", type=int, default=10_000)
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(parser)
 
 
 def _add_datasets_parser(subparsers) -> None:
-    subparsers.add_parser("datasets", help="list the available benchmark datasets")
+    parser = subparsers.add_parser(
+        "datasets", help="list the available benchmark datasets"
+    )
+    # Accepted for CLI uniformity; listing datasets is backend-independent.
+    _add_backend_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,7 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
 def run_quickstart(args) -> str:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     result = cross_validate(
-        lambda: GraphHDClassifier(GraphHDConfig(dimension=args.dimension, seed=args.seed)),
+        lambda: GraphHDClassifier(
+            GraphHDConfig(
+                dimension=args.dimension, seed=args.seed, backend=args.backend
+            )
+        ),
         dataset,
         method_name="GraphHD",
         n_splits=args.folds,
@@ -140,6 +163,7 @@ def run_compare(args) -> str:
         repetitions=args.repetitions,
         seed=args.seed,
         dimension=args.dimension,
+        backend=args.backend,
     )
     return render_figure3(comparison)
 
@@ -153,6 +177,7 @@ def run_scaling(args) -> str:
         fast=args.fast,
         seed=args.seed,
         dimension=args.dimension,
+        backend=args.backend,
     )
     series = {
         method: [round(point.train_seconds[method], 4) for point in points]
@@ -172,7 +197,11 @@ def run_robustness(args) -> str:
         dataset.labels, test_fraction=0.25, seed=args.seed
     )
     curve = graphhd_robustness_curve(
-        lambda: GraphHDClassifier(GraphHDConfig(dimension=args.dimension, seed=args.seed)),
+        lambda: GraphHDClassifier(
+            GraphHDConfig(
+                dimension=args.dimension, seed=args.seed, backend=args.backend
+            )
+        ),
         [dataset.graphs[i] for i in train_indices],
         [dataset.labels[i] for i in train_indices],
         [dataset.graphs[i] for i in test_indices],

@@ -36,9 +36,9 @@ from repro.graphs.centrality import (
     pagerank_matrix,
 )
 from repro.graphs.graph import Graph
-from repro.hdc.hypervector import DEFAULT_DIMENSION, HV_DTYPE
+from repro.hdc.backend import BACKEND_NAMES, get_backend
+from repro.hdc.hypervector import DEFAULT_DIMENSION
 from repro.hdc.item_memory import ItemMemory
-from repro.hdc.operations import bundle, normalize_hard
 
 
 @dataclass
@@ -69,6 +69,12 @@ class GraphHDConfig:
         paper's Algorithm 1, which bundles edge hypervectors only).
     seed:
         Seed of the vertex basis hypervectors.
+    backend:
+        HDC compute backend: ``"dense"`` (the paper's int8 bipolar vectors,
+        the default) or ``"packed"`` (bit-packed ``uint64`` words with XOR
+        binding and popcount Hamming similarity; ~8x less memory).  For a
+        given seed the packed encodings are exactly the bit-packing of the
+        dense encodings.
     """
 
     dimension: int = DEFAULT_DIMENSION
@@ -79,6 +85,7 @@ class GraphHDConfig:
     normalize_graph_hypervectors: bool = True
     include_vertices: bool = False
     seed: int | None = 0
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.dimension <= 0:
@@ -96,6 +103,15 @@ class GraphHDConfig:
             raise ValueError(
                 f"pagerank_batch_size must be positive, got {self.pagerank_batch_size}"
             )
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {list(BACKEND_NAMES)}, got {self.backend!r}"
+            )
+        if self.backend == "packed" and not self.normalize_graph_hypervectors:
+            raise ValueError(
+                "the packed backend stores binary hypervectors and therefore "
+                "requires normalize_graph_hypervectors=True"
+            )
 
 
 class GraphHDEncoder:
@@ -103,7 +119,10 @@ class GraphHDEncoder:
 
     def __init__(self, config: GraphHDConfig | None = None) -> None:
         self.config = config or GraphHDConfig()
-        self._basis = ItemMemory(self.config.dimension, seed=self.config.seed)
+        self.backend = get_backend(self.config.backend)
+        self._basis = ItemMemory(
+            self.config.dimension, seed=self.config.seed, backend=self.backend
+        )
         # A fixed tie-break vector keeps the majority-vote normalization fully
         # deterministic, so a graph encodes identically whether it is encoded
         # alone or inside a batch.
@@ -158,21 +177,21 @@ class GraphHDEncoder:
     def encode_edges(self, graph: Graph, vertex_hypervectors: np.ndarray | None = None) -> np.ndarray:
         """Edge hypervectors of ``graph``: binding of the two endpoint hypervectors.
 
-        Returns an array of shape ``(num_edges, dimension)`` (empty for graphs
-        without edges).
+        Returns an array of shape ``(num_edges, storage_width)`` in the
+        backend's native format — ``(num_edges, dimension)`` int8 for the
+        dense backend, ``(num_edges, dimension / 64)`` uint64 words for the
+        packed backend (empty for graphs without edges).
         """
         if vertex_hypervectors is None:
             vertex_hypervectors = self.encode_vertices(graph)
         edges = graph.edges()
         if not edges:
-            return np.empty((0, self.config.dimension), dtype=HV_DTYPE)
+            return self.backend.empty(0, self.config.dimension)
         sources = np.array([u for u, _ in edges], dtype=np.int64)
         targets = np.array([v for _, v in edges], dtype=np.int64)
-        bound = (
-            vertex_hypervectors[sources].astype(np.int16)
-            * vertex_hypervectors[targets].astype(np.int16)
-        ).astype(HV_DTYPE)
-        return bound
+        return self.backend.bind(
+            vertex_hypervectors[sources], vertex_hypervectors[targets]
+        )
 
     def _edge_accumulator(
         self, graph: Graph, vertex_hypervectors: np.ndarray
@@ -190,9 +209,16 @@ class GraphHDEncoder:
         twice to the right-hand side; self-loops contribute once and are
         compensated for).  The result is identical to summing the explicit
         per-edge hypervectors.
+
+        The packed backend has no component-space product, so it instead
+        XOR-binds the packed endpoint words per edge and bit-counts the
+        bundle; both paths produce the same component-space accumulator.
         """
         if graph.num_edges == 0:
             return np.zeros(self.config.dimension, dtype=np.int64)
+        if not self.backend.is_component_space:
+            edge_hypervectors = self.encode_edges(graph, vertex_hypervectors)
+            return self.backend.accumulate(edge_hypervectors, self.config.dimension)
         # float32 keeps the sparse product exact (edge sums are small integers)
         # while halving the memory traffic of the hot loop.
         adjacency = graph.adjacency_matrix().astype(np.float32)
@@ -217,10 +243,12 @@ class GraphHDEncoder:
         # uninformative, matching the information content.
         accumulator = self._edge_accumulator(graph, vertex_hypervectors)
         if self.config.include_vertices and vertex_hypervectors.shape[0] > 0:
-            accumulator = accumulator + vertex_hypervectors.astype(np.int64).sum(axis=0)
+            accumulator = accumulator + self.backend.accumulate(
+                vertex_hypervectors, self.config.dimension
+            )
 
         if self.config.normalize_graph_hypervectors:
-            return normalize_hard(accumulator, tie_breaker=self._tie_breaker)
+            return self.backend.normalize(accumulator, tie_breaker=self._tie_breaker)
         return accumulator
 
     def encode_many(self, graphs: Sequence[Graph]) -> np.ndarray:
@@ -233,7 +261,7 @@ class GraphHDEncoder:
         """
         graphs = list(graphs)
         if not graphs:
-            return np.empty((0, self.config.dimension), dtype=HV_DTYPE)
+            return self.backend.empty(0, self.config.dimension)
         if self.config.centrality != "pagerank":
             return np.vstack([self.encode(graph) for graph in graphs])
 

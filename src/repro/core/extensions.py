@@ -29,9 +29,7 @@ from repro.core.encoding import GraphHDConfig, GraphHDEncoder
 from repro.core.model import GraphHDClassifier
 from repro.graphs.graph import Graph
 from repro.hdc.classifier import CentroidClassifier, RetrainingReport
-from repro.hdc.hypervector import HV_DTYPE
 from repro.hdc.item_memory import ItemMemory
-from repro.hdc.operations import normalize_hard, similarity_matrix
 
 
 class RetrainedGraphHDClassifier(GraphHDClassifier):
@@ -102,6 +100,7 @@ class MultiCentroidGraphHDClassifier:
         self.refinement_rounds = int(refinement_rounds)
         self.seed = seed
         self.encoder = GraphHDEncoder(self.config)
+        self.backend = self.encoder.backend
         self._centroids: np.ndarray | None = None
         self._centroid_classes: list[Hashable] = []
 
@@ -119,9 +118,10 @@ class MultiCentroidGraphHDClassifier:
     ) -> list[np.ndarray]:
         """Split one class's encodings into sub-centroid accumulators."""
         count = encodings.shape[0]
+        dimension = self.config.dimension
         clusters = min(self.centroids_per_class, count)
         if clusters <= 1:
-            return [encodings.astype(np.int64).sum(axis=0)]
+            return [self.backend.accumulate(encodings, dimension)]
 
         # Initialize assignments round-robin, then refine by nearest centroid.
         assignment = np.arange(count) % clusters
@@ -129,19 +129,21 @@ class MultiCentroidGraphHDClassifier:
         for _ in range(self.refinement_rounds):
             accumulators = np.stack(
                 [
-                    encodings[assignment == cluster].astype(np.int64).sum(axis=0)
+                    self.backend.accumulate(encodings[assignment == cluster], dimension)
                     if np.any(assignment == cluster)
-                    else np.zeros(encodings.shape[1], dtype=np.int64)
+                    else np.zeros(dimension, dtype=np.int64)
                     for cluster in range(clusters)
                 ]
             )
-            scores = similarity_matrix(encodings, accumulators, metric=self.metric)
+            scores = self.backend.similarity_to_accumulators(
+                encodings, accumulators, self.config.dimension, metric=self.metric
+            )
             new_assignment = scores.argmax(axis=1)
             if np.array_equal(new_assignment, assignment):
                 break
             assignment = new_assignment
         return [
-            encodings[assignment == cluster].astype(np.int64).sum(axis=0)
+            self.backend.accumulate(encodings[assignment == cluster], dimension)
             for cluster in range(clusters)
             if np.any(assignment == cluster)
         ]
@@ -179,7 +181,9 @@ class MultiCentroidGraphHDClassifier:
         if not graphs:
             return []
         encodings = self.encoder.encode_many(graphs)
-        scores = similarity_matrix(encodings, self._centroids, metric=self.metric)
+        scores = self.backend.similarity_to_accumulators(
+            encodings, self._centroids, self.config.dimension, metric=self.metric
+        )
         winners = scores.argmax(axis=1)
         return [self._centroid_classes[int(index)] for index in winners]
 
@@ -214,9 +218,11 @@ class LabelAwareGraphHDEncoder(GraphHDEncoder):
         label_seed = None if self.config.seed is None else self.config.seed + 101
         edge_label_seed = None if self.config.seed is None else self.config.seed + 202
         self._vertex_label_pair_memory = ItemMemory(
-            self.config.dimension, seed=label_seed
+            self.config.dimension, seed=label_seed, backend=self.backend
         )
-        self._edge_label_memory = ItemMemory(self.config.dimension, seed=edge_label_seed)
+        self._edge_label_memory = ItemMemory(
+            self.config.dimension, seed=edge_label_seed, backend=self.backend
+        )
 
     def _edge_accumulator(
         self, graph: Graph, vertex_hypervectors: np.ndarray
@@ -229,7 +235,7 @@ class LabelAwareGraphHDEncoder(GraphHDEncoder):
         edge_hypervectors = self.encode_edges(graph, vertex_hypervectors)
         if edge_hypervectors.shape[0] == 0:
             return np.zeros(self.config.dimension, dtype=np.int64)
-        return edge_hypervectors.astype(np.int64).sum(axis=0)
+        return self.backend.accumulate(edge_hypervectors, self.config.dimension)
 
     def encode_edges(
         self, graph: Graph, vertex_hypervectors: np.ndarray | None = None
@@ -238,7 +244,7 @@ class LabelAwareGraphHDEncoder(GraphHDEncoder):
         if edge_hypervectors.shape[0] == 0:
             return edge_hypervectors
         edges = graph.edges()
-        combined = edge_hypervectors.astype(np.int16)
+        combined = edge_hypervectors
 
         if graph.vertex_labels is not None:
             pair_keys = []
@@ -248,12 +254,12 @@ class LabelAwareGraphHDEncoder(GraphHDEncoder):
                 low, high = sorted((str(label_u), str(label_v)))
                 pair_keys.append((low, high))
             pair_hypervectors = self._vertex_label_pair_memory.get_many(pair_keys)
-            combined = combined * pair_hypervectors.astype(np.int16)
+            combined = self.backend.bind(combined, pair_hypervectors)
 
         if graph.edge_labels is not None:
             labels = [graph.edge_labels.get(edge) for edge in edges]
             if all(label is not None for label in labels):
                 label_hypervectors = self._edge_label_memory.get_many(labels)
-                combined = combined * label_hypervectors.astype(np.int16)
+                combined = self.backend.bind(combined, label_hypervectors)
 
-        return combined.astype(HV_DTYPE)
+        return combined

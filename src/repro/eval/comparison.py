@@ -104,14 +104,19 @@ def compare_methods(
     max_folds_per_repetition: int | None = None,
     seed: int | None = 0,
     dimension: int = 10_000,
+    backend: str = "dense",
 ) -> ComparisonResult:
-    """Run the Figure 3 comparison over the given datasets and methods."""
+    """Run the Figure 3 comparison over the given datasets and methods.
+
+    ``backend`` selects the GraphHD compute backend (``"dense"`` or
+    ``"packed"``); the kernel and GNN baselines are unaffected.
+    """
     comparison = ComparisonResult()
     for dataset in datasets:
         for method_name in methods:
             result = cross_validate(
                 lambda name=method_name: make_method(
-                    name, fast=fast, seed=seed, dimension=dimension
+                    name, fast=fast, seed=seed, dimension=dimension, backend=backend
                 ),
                 dataset,
                 method_name=method_name,

@@ -40,6 +40,7 @@ def make_method(
     fast: bool = False,
     seed: int | None = 0,
     dimension: int = 10_000,
+    backend: str = "dense",
 ) -> GraphClassifierProtocol:
     """Instantiate one of the five compared methods by display name.
 
@@ -56,10 +57,13 @@ def make_method(
         Seed forwarded to the method.
     dimension:
         GraphHD hypervector dimensionality (the paper uses 10,000).
+    backend:
+        GraphHD compute backend (``"dense"`` or ``"packed"``); ignored by the
+        kernel and GNN baselines.
     """
     key = name.strip().lower().replace("eps", "e").replace("ϵ", "e")
     if key == "graphhd":
-        config = GraphHDConfig(dimension=dimension, seed=seed)
+        config = GraphHDConfig(dimension=dimension, seed=seed, backend=backend)
         return GraphHDClassifier(config)
     if key in ("1-wl", "wl", "wl-subtree"):
         kernel = WLSubtreeKernel()

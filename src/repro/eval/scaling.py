@@ -38,6 +38,7 @@ def scaling_experiment(
     fast: bool = False,
     seed: int | None = 0,
     dimension: int = 10_000,
+    backend: str = "dense",
 ) -> list[ScalingPoint]:
     """Run the Figure 4 sweep and return one :class:`ScalingPoint` per size.
 
@@ -54,6 +55,9 @@ def scaling_experiment(
     fast:
         Use the reduced method configurations (fewer GNN epochs, smaller
         kernel grids) — the relative scaling profile is preserved.
+    backend:
+        GraphHD compute backend (``"dense"`` or ``"packed"``); ignored by the
+        baselines.
     """
     points: list[ScalingPoint] = []
     for num_vertices in graph_sizes:
@@ -74,7 +78,9 @@ def scaling_experiment(
 
         point = ScalingPoint(num_vertices=num_vertices)
         for method_name in methods:
-            model = make_method(method_name, fast=fast, seed=seed, dimension=dimension)
+            model = make_method(
+                method_name, fast=fast, seed=seed, dimension=dimension, backend=backend
+            )
             start = time.perf_counter()
             model.fit(train_graphs, train_labels)
             point.train_seconds[method_name] = time.perf_counter() - start

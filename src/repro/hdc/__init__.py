@@ -10,8 +10,20 @@ This subpackage implements the HDC machinery that GraphHD builds on:
 * :mod:`repro.hdc.associative_memory` — class-vector memory used for inference.
 * :mod:`repro.hdc.classifier` — a generic centroid HDC classifier with optional
   retraining and online learning.
+* :mod:`repro.hdc.backend` — pluggable compute backends: the dense int8
+  bipolar backend (the paper's formulation) and a bit-packed ``uint64`` binary
+  backend (XOR binding, popcount Hamming similarity, ~8x less memory).
 """
 
+from repro.hdc.backend import (
+    BACKEND_NAMES,
+    DenseBackend,
+    HDCBackend,
+    PackedBackend,
+    get_backend,
+    pack_bipolar,
+    unpack_to_bipolar,
+)
 from repro.hdc.hypervector import (
     DEFAULT_DIMENSION,
     random_binary,
@@ -36,6 +48,13 @@ from repro.hdc.associative_memory import AssociativeMemory
 from repro.hdc.classifier import CentroidClassifier
 
 __all__ = [
+    "BACKEND_NAMES",
+    "HDCBackend",
+    "DenseBackend",
+    "PackedBackend",
+    "get_backend",
+    "pack_bipolar",
+    "unpack_to_bipolar",
     "DEFAULT_DIMENSION",
     "random_bipolar",
     "random_binary",

@@ -12,8 +12,9 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.hdc.backend import HDCBackend, get_backend
 from repro.hdc.hypervector import ACCUMULATOR_DTYPE, ensure_matrix
-from repro.hdc.operations import normalize_hard, similarity_matrix
+from repro.hdc.operations import normalize_hard
 
 
 class AssociativeMemory:
@@ -24,6 +25,13 @@ class AssociativeMemory:
     against the raw accumulators (the paper's formulation, where the class
     vector is the bundle of its training encodings) or against their
     majority-vote normalization.
+
+    The accumulators live in backend-independent component space regardless
+    of the compute ``backend``; the backend only controls the native format
+    of the hypervectors being added/queried (dense int8 bipolar vs. packed
+    ``uint64`` words) and the similarity kernel.  The packed backend always
+    queries against normalized (bit-packed) class vectors, because popcount
+    Hamming similarity is only defined between binary hypervectors.
     """
 
     def __init__(
@@ -32,14 +40,19 @@ class AssociativeMemory:
         *,
         metric: str = "cosine",
         normalize_queries: bool = False,
+        backend: str | HDCBackend | None = None,
     ) -> None:
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
         self.dimension = int(dimension)
         self.metric = metric
-        self.normalize_queries = bool(normalize_queries)
+        self.backend = get_backend(backend)
+        self.normalize_queries = (
+            bool(normalize_queries) or not self.backend.is_component_space
+        )
         self._accumulators: dict[Hashable, np.ndarray] = {}
         self._counts: dict[Hashable, int] = {}
+        self._storage_width = self.backend.storage_width(self.dimension)
 
     # ------------------------------------------------------------------ state
     @property
@@ -66,13 +79,19 @@ class AssociativeMemory:
         class.
         """
         hypervector = np.asarray(hypervector)
-        if hypervector.shape != (self.dimension,):
+        if hypervector.shape != (self._storage_width,):
             raise ValueError(
-                f"expected a hypervector of shape ({self.dimension},), "
+                f"expected a hypervector of shape ({self._storage_width},), "
                 f"got {hypervector.shape}"
             )
+        if self.backend.is_component_space:
+            # Keep the original dtype: un-normalized integer encodings can
+            # exceed the int8 range that backend.unpack would clamp to.
+            components = hypervector
+        else:
+            components = self.backend.unpack(hypervector, self.dimension)
         accumulator = self._accumulators.get(label)
-        contribution = (hypervector.astype(np.float64) * weight).astype(
+        contribution = (components.astype(np.float64) * weight).astype(
             ACCUMULATOR_DTYPE
         )
         if accumulator is None:
@@ -88,12 +107,12 @@ class AssociativeMemory:
     ) -> None:
         """Accumulate a batch of hypervectors into one class."""
         matrix = ensure_matrix(hypervectors)
-        if matrix.shape[1] != self.dimension:
+        if matrix.shape[1] != self._storage_width:
             raise ValueError(
-                f"expected hypervectors of dimension {self.dimension}, "
+                f"expected hypervectors of dimension {self._storage_width}, "
                 f"got {matrix.shape[1]}"
             )
-        summed = matrix.astype(ACCUMULATOR_DTYPE).sum(axis=0)
+        summed = self.backend.accumulate(matrix, self.dimension)
         accumulator = self._accumulators.get(label)
         if accumulator is None:
             self._accumulators[label] = summed
@@ -123,6 +142,19 @@ class AssociativeMemory:
             vectors.append(self.class_vector(label))
         return np.vstack(vectors)
 
+    def _reference_matrix_native(self) -> np.ndarray:
+        """Class vectors in the backend's native format for similarity queries.
+
+        Component-space backends query the class vectors directly (raw
+        accumulators or their normalization, per ``normalize_queries``);
+        packed storage re-packs the normalized class vectors so the popcount
+        similarity kernel can compare them against native queries.
+        """
+        references = self._reference_matrix()
+        if self.backend.is_component_space:
+            return references
+        return self.backend.pack(references)
+
     def similarities(
         self, queries: Sequence[np.ndarray] | np.ndarray
     ) -> tuple[np.ndarray, list[Hashable]]:
@@ -133,8 +165,10 @@ class AssociativeMemory:
         """
         if not self._accumulators:
             raise RuntimeError("associative memory is empty; nothing to query")
-        references = self._reference_matrix()
-        matrix = similarity_matrix(queries, references, metric=self.metric)
+        references = self._reference_matrix_native()
+        matrix = self.backend.similarity_matrix(
+            queries, references, self.dimension, metric=self.metric
+        )
         return matrix, self.classes
 
     def query(self, hypervector: np.ndarray) -> Hashable:

@@ -23,6 +23,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.backend import HDCBackend, get_backend
 from repro.hdc.hypervector import ensure_matrix
 
 
@@ -61,6 +62,11 @@ class CentroidClassifier:
         integer accumulators are used, matching the paper's formulation.
         The Hamming metric only makes sense between bipolar vectors, so it
         always normalizes regardless of this flag.
+    backend:
+        Compute backend the encodings are stored in (``"dense"`` int8 bipolar
+        or ``"packed"`` uint64 words).  The packed backend always normalizes
+        class vectors, because its popcount similarity kernel compares binary
+        hypervectors.
     """
 
     def __init__(
@@ -69,14 +75,19 @@ class CentroidClassifier:
         *,
         metric: str = "cosine",
         normalize_class_vectors: bool = False,
+        backend: str | HDCBackend | None = None,
     ) -> None:
         self.dimension = int(dimension)
         self.metric = metric
+        self.backend = get_backend(backend)
         # Hamming similarity compares component equality, which is meaningless
         # against un-normalized integer accumulators.
         normalize = bool(normalize_class_vectors) or metric == "hamming"
         self.memory = AssociativeMemory(
-            dimension, metric=metric, normalize_queries=normalize
+            dimension,
+            metric=metric,
+            normalize_queries=normalize,
+            backend=self.backend,
         )
         self._is_fitted = False
 
@@ -94,13 +105,20 @@ class CentroidClassifier:
                 f"number of encodings ({matrix.shape[0]}) does not match "
                 f"number of labels ({len(labels)})"
             )
-        if matrix.shape[1] != self.dimension:
+        expected_width = self.backend.storage_width(self.dimension)
+        if matrix.shape[1] != expected_width:
             raise ValueError(
-                f"expected encodings of dimension {self.dimension}, got {matrix.shape[1]}"
+                f"expected encodings of dimension {expected_width}, got {matrix.shape[1]}"
             )
-        label_array = np.asarray(labels, dtype=object)
+        # Build the per-class masks by element-wise comparison: asarray with
+        # dtype=object would broadcast sequence labels (e.g. tuples) into a
+        # 2-D array and produce a 2-D mask.
         for label in dict.fromkeys(labels):
-            mask = label_array == label
+            mask = np.fromiter(
+                (candidate == label for candidate in labels),
+                dtype=bool,
+                count=len(labels),
+            )
             self.memory.add_many(label, matrix[mask])
         self._is_fitted = True
         return self

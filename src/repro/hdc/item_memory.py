@@ -21,12 +21,8 @@ from typing import Hashable, Iterable, Mapping
 
 import numpy as np
 
-from repro.hdc.hypervector import (
-    DEFAULT_DIMENSION,
-    HV_DTYPE,
-    random_bipolar,
-    random_hypervectors,
-)
+from repro.hdc.backend import HDCBackend, get_backend
+from repro.hdc.hypervector import DEFAULT_DIMENSION, HV_DTYPE, random_bipolar
 
 
 class ItemMemory:
@@ -38,6 +34,12 @@ class ItemMemory:
     the memory fully reproducible for a given seed *and* insertion order; the
     :meth:`get_many` helper additionally guarantees order-independence by
     sorting keys when they are all of one sortable type.
+
+    The memory stores hypervectors in the native format of its compute
+    ``backend`` (dense int8 bipolar by default, bit-packed ``uint64`` words
+    for the packed backend).  Both backends consume the same random stream,
+    so for a given seed the packed entries are exactly the bit-packing of the
+    dense entries.
     """
 
     def __init__(
@@ -45,10 +47,12 @@ class ItemMemory:
         dimension: int = DEFAULT_DIMENSION,
         *,
         seed: int | None = None,
+        backend: str | HDCBackend | None = None,
     ) -> None:
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
         self.dimension = int(dimension)
+        self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
         self._store: dict[Hashable, np.ndarray] = {}
 
@@ -66,7 +70,7 @@ class ItemMemory:
         """Return the hypervector for ``key``, creating it on first access."""
         hypervector = self._store.get(key)
         if hypervector is None:
-            hypervector = random_bipolar(self.dimension, rng=self._rng)
+            hypervector = self.backend.random_one(self.dimension, rng=self._rng)
             self._store[key] = hypervector
         return hypervector
 
@@ -88,7 +92,7 @@ class ItemMemory:
             for key in ordered:
                 self.get(key)
         if not keys:
-            return np.empty((0, self.dimension), dtype=HV_DTYPE)
+            return self.backend.empty(0, self.dimension)
         return np.vstack([self._store[key] for key in keys])
 
     def as_dict(self) -> Mapping[Hashable, np.ndarray]:

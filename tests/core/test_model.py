@@ -66,6 +66,26 @@ class TestFitPredict:
         assert model.timings.inference_seconds > 0
         assert model.timings.encoding_seconds <= model.timings.training_seconds
 
+    def test_timings_decompose_training(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        timings = model.timings
+        assert timings.accumulation_seconds > 0
+        # training time decomposes exactly into encoding + accumulation
+        assert timings.training_seconds == pytest.approx(
+            timings.encoding_seconds + timings.accumulation_seconds
+        )
+
+    def test_partial_fit_updates_timings(self, model, two_class_dataset):
+        graph, label = two_class_dataset.graphs[0], two_class_dataset.labels[0]
+        model.partial_fit(graph, label)
+        first_training = model.timings.training_seconds
+        assert first_training > 0
+        assert model.timings.encoding_seconds > 0
+        assert model.timings.accumulation_seconds > 0
+        model.partial_fit(graph, label)
+        # partial_fit accumulates its per-sample cost
+        assert model.timings.training_seconds > first_training
+
     def test_hamming_metric_supported(self, two_class_dataset):
         model = GraphHDClassifier(
             GraphHDConfig(dimension=DIMENSION, seed=0), metric="hamming"
@@ -94,6 +114,65 @@ class TestOnlineLearning:
             [b == o for b, o in zip(batch_predictions, online_predictions)]
         )
         assert agreement > 0.9
+
+
+class TestPackedBackend:
+    def test_packed_learns_separable_dataset(self, two_class_dataset):
+        model = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend="packed")
+        )
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model.fit(graphs[:20], labels[:20])
+        assert model.score(graphs[20:], labels[20:]) > 0.8
+
+    def test_packed_accuracy_within_noise_of_dense(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        dense = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        packed = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend="packed")
+        )
+        dense.fit(graphs, labels)
+        packed.fit(graphs, labels)
+        dense_accuracy = dense.score(graphs, labels)
+        packed_accuracy = packed.score(graphs, labels)
+        assert abs(dense_accuracy - packed_accuracy) < 0.15
+
+    def test_packed_encodings_are_bit_packed_dense_encodings(self, two_class_dataset):
+        from repro.hdc.backend import pack_bipolar
+
+        graphs = two_class_dataset.graphs[:8]
+        dense = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        packed = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend="packed")
+        )
+        assert np.array_equal(
+            packed.encode(graphs), pack_bipolar(dense.encode(graphs))
+        )
+
+    def test_packed_encodings_are_uint64_words(self, two_class_dataset):
+        model = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend="packed")
+        )
+        encodings = model.encode(two_class_dataset.graphs[:3])
+        assert encodings.dtype == np.uint64
+        assert encodings.shape == (3, DIMENSION // 64)
+
+    def test_packed_requires_normalized_graph_hypervectors(self):
+        with pytest.raises(ValueError):
+            GraphHDConfig(backend="packed", normalize_graph_hypervectors=False)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GraphHDConfig(backend="sparse")
+
+    def test_packed_partial_fit(self, two_class_dataset):
+        model = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend="packed")
+        )
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        for graph, label in zip(graphs, labels):
+            model.partial_fit(graph, label)
+        assert model.score(graphs, labels) > 0.8
 
 
 class TestReproducibility:

@@ -95,6 +95,20 @@ class TestCompareMethods:
         assert accuracy["GraphHD"] > 0.7
         assert accuracy["1-WL"] > 0.7
 
+    def test_packed_backend_run(self, two_class_dataset):
+        comparison = compare_methods(
+            [two_class_dataset],
+            methods=("GraphHD",),
+            fast=True,
+            n_splits=3,
+            repetitions=1,
+            seed=0,
+            dimension=1024,
+            backend="packed",
+        )
+        accuracy = comparison.accuracy_table()[two_class_dataset.name]
+        assert accuracy["GraphHD"] > 0.7
+
     def test_max_folds_limits_work(self, two_class_dataset):
         comparison = compare_methods(
             [two_class_dataset],
@@ -111,6 +125,19 @@ class TestCompareMethods:
 
 
 class TestScalingExperiment:
+    def test_packed_backend_point(self):
+        points = scaling_experiment(
+            [20],
+            methods=("GraphHD",),
+            num_graphs=20,
+            fast=True,
+            seed=0,
+            dimension=1024,
+            backend="packed",
+        )
+        assert points[0].train_seconds["GraphHD"] > 0
+        assert 0.0 <= points[0].accuracy["GraphHD"] <= 1.0
+
     def test_points_and_methods(self):
         points = scaling_experiment(
             [20, 40],

@@ -121,3 +121,17 @@ class TestAssociativeMemory:
         memory.add("other", other)
         for member in members:
             assert memory.query(member) == "class"
+
+
+class TestIntegerEncodings:
+    def test_add_preserves_wide_integer_components(self):
+        # Un-normalized integer encodings (normalize_graph_hypervectors=False)
+        # can exceed the int8 range; add() must not clamp or wrap them.
+        memory = AssociativeMemory(DIMENSION)
+        encoding = np.zeros(DIMENSION, dtype=np.int64)
+        encoding[0] = 300
+        encoding[1] = -300
+        memory.add("wide", encoding)
+        stored = memory.class_vector("wide", normalized=False)
+        assert stored[0] == 300
+        assert stored[1] == -300

@@ -1,0 +1,254 @@
+"""Tests for the pluggable HDC compute backends."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DenseBackend,
+    HDCBackend,
+    PackedBackend,
+    get_backend,
+    pack_bipolar,
+    packed_words,
+    popcount,
+    unpack_to_bipolar,
+)
+from repro.hdc.hypervector import random_bipolar, random_hypervectors
+from repro.hdc.operations import normalize_hard, similarity_matrix
+
+DIMENSION = 512
+
+
+@pytest.fixture
+def dense():
+    return get_backend("dense")
+
+
+@pytest.fixture
+def packed():
+    return get_backend("packed")
+
+
+class TestRegistry:
+    def test_backend_names(self):
+        assert set(BACKEND_NAMES) == {"dense", "packed"}
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("dense"), DenseBackend)
+        assert isinstance(get_backend("packed"), PackedBackend)
+
+    def test_get_backend_none_is_dense(self):
+        assert get_backend(None) is BACKENDS["dense"]
+
+    def test_get_backend_passthrough(self):
+        backend = PackedBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("sparse")
+
+    def test_backends_are_hdc_backends(self):
+        for backend in BACKENDS.values():
+            assert isinstance(backend, HDCBackend)
+
+
+class TestPacking:
+    def test_packed_words(self):
+        assert packed_words(64) == 1
+        assert packed_words(65) == 2
+        assert packed_words(10_000) == 157
+        with pytest.raises(ValueError):
+            packed_words(0)
+
+    @pytest.mark.parametrize("dimension", [64, 100, 512, 1000])
+    def test_roundtrip(self, dimension):
+        bipolar = random_hypervectors(5, dimension, rng=0)
+        assert np.array_equal(
+            unpack_to_bipolar(pack_bipolar(bipolar), dimension), bipolar
+        )
+
+    def test_single_vector_shape_preserved(self):
+        vector = random_bipolar(DIMENSION, rng=0)
+        packed = pack_bipolar(vector)
+        assert packed.ndim == 1
+        assert packed.shape == (packed_words(DIMENSION),)
+        assert np.array_equal(unpack_to_bipolar(packed, DIMENSION), vector)
+
+    def test_padding_bits_are_zero(self):
+        # +1 components map to 0-bits, so an all-(+1) vector packs to zeros
+        # and the padding of a non-multiple-of-64 dimension stays zero.
+        vector = np.ones(70, dtype=np.int8)
+        packed = pack_bipolar(vector)
+        assert packed.shape == (2,)
+        assert packed[0] == 0 and packed[1] == 0
+
+    def test_unpack_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            unpack_to_bipolar(np.zeros(3, dtype=np.uint64), 64)
+
+    def test_popcount(self):
+        words = np.array([0, 1, 0xFFFFFFFFFFFFFFFF, 0b1011], dtype=np.uint64)
+        assert list(popcount(words)) == [0, 1, 64, 3]
+
+
+class TestStorage:
+    def test_storage_width(self, dense, packed):
+        assert dense.storage_width(DIMENSION) == DIMENSION
+        assert packed.storage_width(DIMENSION) == DIMENSION // 64
+
+    def test_memory_ratio_is_eightfold(self, dense, packed):
+        assert dense.nbytes(100, 1024) == 100 * 1024
+        assert packed.nbytes(100, 1024) == 100 * 1024 // 8
+
+    def test_empty(self, dense, packed):
+        assert dense.empty(0, DIMENSION).shape == (0, DIMENSION)
+        assert packed.empty(0, DIMENSION).shape == (0, DIMENSION // 64)
+        assert packed.empty(0, DIMENSION).dtype == np.uint64
+
+
+class TestRandomCorrespondence:
+    def test_same_seed_same_vectors_across_backends(self, dense, packed):
+        dense_draw = dense.random(4, DIMENSION, rng=7)
+        packed_draw = packed.random(4, DIMENSION, rng=7)
+        assert np.array_equal(packed_draw, pack_bipolar(dense_draw))
+
+    def test_random_one_correspondence(self, dense, packed):
+        assert np.array_equal(
+            packed.random_one(DIMENSION, rng=3),
+            pack_bipolar(dense.random_one(DIMENSION, rng=3)),
+        )
+
+    def test_dense_random_matches_seed_functions(self, dense):
+        assert np.array_equal(
+            dense.random(3, DIMENSION, rng=5),
+            random_hypervectors(3, DIMENSION, rng=5),
+        )
+        assert np.array_equal(
+            dense.random_one(DIMENSION, rng=5), random_bipolar(DIMENSION, rng=5)
+        )
+
+
+class TestOperations:
+    def test_bind_equivalence(self, dense, packed):
+        a = random_hypervectors(6, DIMENSION, rng=0)
+        b = random_hypervectors(6, DIMENSION, rng=1)
+        dense_bound = dense.bind(a, b)
+        packed_bound = packed.bind(pack_bipolar(a), pack_bipolar(b))
+        assert np.array_equal(packed_bound, pack_bipolar(dense_bound))
+
+    def test_packed_bind_is_self_inverse(self, packed):
+        a = packed.random(1, DIMENSION, rng=0)
+        b = packed.random(1, DIMENSION, rng=1)
+        assert np.array_equal(packed.bind(packed.bind(a, b), b), a)
+
+    def test_bind_shape_mismatch_rejected(self, dense, packed):
+        with pytest.raises(ValueError):
+            dense.bind(np.ones(4, dtype=np.int8), np.ones(5, dtype=np.int8))
+        with pytest.raises(ValueError):
+            packed.bind(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    def test_accumulate_equivalence(self, dense, packed):
+        matrix = random_hypervectors(9, DIMENSION, rng=0)
+        assert np.array_equal(
+            packed.accumulate(pack_bipolar(matrix), DIMENSION),
+            dense.accumulate(matrix, DIMENSION),
+        )
+
+    def test_accumulate_empty(self, dense, packed):
+        assert np.array_equal(
+            dense.accumulate(dense.empty(0, DIMENSION), DIMENSION),
+            np.zeros(DIMENSION, dtype=np.int64),
+        )
+        assert np.array_equal(
+            packed.accumulate(packed.empty(0, DIMENSION), DIMENSION),
+            np.zeros(DIMENSION, dtype=np.int64),
+        )
+
+    def test_accumulate_blocked_path(self, packed):
+        # Exceed the block size to exercise the chunked per-bit accumulation.
+        original = packed.ACCUMULATE_BLOCK_ROWS
+        packed_small = PackedBackend()
+        packed_small.ACCUMULATE_BLOCK_ROWS = 4
+        matrix = random_hypervectors(11, DIMENSION, rng=2)
+        assert np.array_equal(
+            packed_small.accumulate(pack_bipolar(matrix), DIMENSION),
+            matrix.astype(np.int64).sum(axis=0),
+        )
+        assert packed.ACCUMULATE_BLOCK_ROWS == original
+
+    def test_normalize_equivalence_with_tie_breaker(self, dense, packed):
+        accumulator = random_hypervectors(4, DIMENSION, rng=0).astype(np.int64).sum(axis=0)
+        tie_breaker = random_bipolar(DIMENSION, rng=9)
+        dense_normalized = dense.normalize(accumulator, tie_breaker=tie_breaker)
+        packed_normalized = packed.normalize(accumulator, tie_breaker=tie_breaker)
+        assert np.array_equal(packed_normalized, pack_bipolar(dense_normalized))
+        assert np.array_equal(dense_normalized, normalize_hard(accumulator, tie_breaker=tie_breaker))
+
+    def test_permute_equivalence(self, dense, packed):
+        vector = random_bipolar(DIMENSION, rng=0)
+        for shifts in (1, -3, 70):
+            assert np.array_equal(
+                packed.permute(pack_bipolar(vector), DIMENSION, shifts),
+                pack_bipolar(dense.permute(vector, DIMENSION, shifts)),
+            )
+
+    def test_bundle_equivalence(self, dense, packed):
+        matrix = random_hypervectors(5, DIMENSION, rng=0)
+        tie_breaker = random_bipolar(DIMENSION, rng=1)
+        assert np.array_equal(
+            packed.bundle(pack_bipolar(matrix), DIMENSION, tie_breaker=tie_breaker),
+            pack_bipolar(dense.bundle(matrix, DIMENSION, tie_breaker=tie_breaker)),
+        )
+
+
+class TestSimilarity:
+    def test_dense_delegates_to_operations(self, dense):
+        queries = random_hypervectors(3, DIMENSION, rng=0)
+        references = random_hypervectors(4, DIMENSION, rng=1)
+        for metric in ("cosine", "hamming", "dot"):
+            assert np.array_equal(
+                dense.similarity_matrix(queries, references, DIMENSION, metric=metric),
+                similarity_matrix(queries, references, metric=metric),
+            )
+
+    @pytest.mark.parametrize("metric", ["cosine", "hamming", "dot"])
+    def test_packed_matches_dense_exactly_on_bipolar(self, dense, packed, metric):
+        # Bipolar vectors all have norm sqrt(d), so the popcount remappings
+        # are exact, not just rank-preserving.
+        queries = random_hypervectors(5, DIMENSION, rng=0)
+        references = random_hypervectors(7, DIMENSION, rng=1)
+        dense_scores = dense.similarity_matrix(queries, references, DIMENSION, metric=metric)
+        packed_scores = packed.similarity_matrix(
+            pack_bipolar(queries), pack_bipolar(references), DIMENSION, metric=metric
+        )
+        assert np.allclose(dense_scores, packed_scores)
+
+    def test_packed_identical_vectors(self, packed):
+        vector = pack_bipolar(random_bipolar(DIMENSION, rng=0))
+        scores = packed.similarity_matrix(vector[None, :], vector[None, :], DIMENSION)
+        assert scores.shape == (1, 1)
+        assert scores[0, 0] == pytest.approx(1.0)
+
+    def test_packed_blocked_query_path(self, packed):
+        small = PackedBackend()
+        small.SIMILARITY_BLOCK_ROWS = 2
+        queries = pack_bipolar(random_hypervectors(5, DIMENSION, rng=0))
+        references = pack_bipolar(random_hypervectors(3, DIMENSION, rng=1))
+        assert np.allclose(
+            small.similarity_matrix(queries, references, DIMENSION),
+            packed.similarity_matrix(queries, references, DIMENSION),
+        )
+
+    def test_packed_unknown_metric_rejected(self, packed):
+        vectors = packed.random(2, DIMENSION, rng=0)
+        with pytest.raises(ValueError):
+            packed.similarity_matrix(vectors, vectors, DIMENSION, metric="euclidean")
+
+    def test_packed_word_mismatch_rejected(self, packed):
+        with pytest.raises(ValueError):
+            packed.hamming_distances(
+                np.zeros((1, 2), dtype=np.uint64), np.zeros((1, 3), dtype=np.uint64)
+            )

@@ -31,6 +31,19 @@ class TestParser:
         args = build_parser().parse_args(["robustness", "--fractions", "0", "0.5"])
         assert args.fractions == [0.0, 0.5]
 
+    def test_backend_flag_defaults_to_dense(self):
+        for command in ("quickstart", "compare", "scaling", "robustness", "datasets"):
+            args = build_parser().parse_args([command])
+            assert args.backend == "dense"
+
+    def test_backend_flag_accepts_packed(self):
+        args = build_parser().parse_args(["quickstart", "--backend", "packed"])
+        assert args.backend == "packed"
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--backend", "sparse"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -124,3 +137,23 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "robustness" in output.lower()
         assert "30%" in output
+
+    def test_quickstart_command_packed_backend(self, capsys):
+        exit_code = main(
+            [
+                "quickstart",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--dimension",
+                "512",
+                "--folds",
+                "3",
+                "--backend",
+                "packed",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "accuracy (mean)" in output
