@@ -33,6 +33,7 @@ def test_ablation_dimensionality(benchmark, profile, benchmark_datasets):
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     paper_dimension_result = benchmark.pedantic(run_paper_dimension, rounds=1, iterations=1)
@@ -51,6 +52,7 @@ def test_ablation_dimensionality(benchmark, profile, benchmark_datasets):
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     rows = [
@@ -94,6 +96,7 @@ def test_ablation_pagerank_iterations(benchmark, profile, benchmark_datasets):
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     paper_result = benchmark.pedantic(run_paper_iterations, rounds=1, iterations=1)
@@ -116,6 +119,7 @@ def test_ablation_pagerank_iterations(benchmark, profile, benchmark_datasets):
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     rows = [

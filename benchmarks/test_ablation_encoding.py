@@ -42,6 +42,7 @@ def test_ablation_vertex_identifier(benchmark, profile, benchmark_datasets):
                 n_splits=profile.n_splits,
                 repetitions=1,
                 seed=profile.seed,
+                encoding_cache=False,
             )
         return results
 
@@ -66,6 +67,7 @@ def test_ablation_vertex_identifier(benchmark, profile, benchmark_datasets):
                 n_splits=profile.n_splits,
                 repetitions=1,
                 seed=profile.seed,
+                encoding_cache=False,
             )
             accuracy[dataset.name][centrality] = result.mean_accuracy
 

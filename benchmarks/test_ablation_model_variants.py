@@ -54,6 +54,7 @@ def test_ablation_normalization_and_similarity(benchmark, profile, benchmark_dat
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     results = {"bipolar + cosine (paper)": benchmark.pedantic(
@@ -76,6 +77,7 @@ def test_ablation_normalization_and_similarity(benchmark, profile, benchmark_dat
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     rows = [
@@ -125,6 +127,7 @@ def test_ablation_accuracy_efficiency_extensions(benchmark, profile, benchmark_d
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     results = {"GraphHD (baseline)": benchmark.pedantic(run_baseline, rounds=1, iterations=1)}
@@ -138,6 +141,7 @@ def test_ablation_accuracy_efficiency_extensions(benchmark, profile, benchmark_d
             n_splits=profile.n_splits,
             repetitions=1,
             seed=profile.seed,
+            encoding_cache=False,
         )
 
     baseline = results["GraphHD (baseline)"]

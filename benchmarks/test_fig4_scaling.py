@@ -40,6 +40,9 @@ def scaling_points(profile):
         fast=False,
         seed=profile.seed,
         dimension=profile.dimension,
+        # Figure 4 plots the paper's training time (encoding included), so
+        # the sweep runs without the evaluation-layer encoding cache.
+        encoding_cache=False,
     )
 
 

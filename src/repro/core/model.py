@@ -98,6 +98,37 @@ class GraphHDClassifier:
         self.timings.training_seconds = train_end - encode_start
         return self
 
+    def fit_encoded(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> "GraphHDClassifier":
+        """Train class hypervectors from pre-encoded graphs.
+
+        GraphHD training is just a class-wise sum of graph encodings, so the
+        evaluation protocol can encode a dataset once and re-fit every
+        cross-validation fold from cached encodings.  The encodings must come
+        from an encoder with this model's configuration (``self.encode`` or
+        an identically configured one); training then produces exactly the
+        class vectors that :meth:`fit` would.  ``timings`` records the pure
+        accumulation cost (``encoding_seconds`` stays 0).
+        """
+        encodings = np.asarray(encodings)
+        labels = list(labels)
+        if encodings.shape[0] != len(labels):
+            raise ValueError("encodings and labels must have the same length")
+        if not labels:
+            raise ValueError("cannot fit on an empty training set")
+
+        train_start = time.perf_counter()
+        self.classifier.fit(encodings, labels)
+        train_end = time.perf_counter()
+
+        self.timings.encoding_seconds = 0.0
+        self.timings.accumulation_seconds = train_end - train_start
+        self.timings.training_seconds = train_end - train_start
+        return self
+
     def partial_fit(self, graph: Graph, label: Hashable) -> None:
         """Online update with a single labelled graph.
 
@@ -120,6 +151,19 @@ class GraphHDClassifier:
         """Class labels known to the classifier."""
         return self.classifier.classes
 
+    @property
+    def encoding_cache_safe(self) -> bool:
+        """Whether encodings are split-invariant (safe to cache per dataset).
+
+        True for every deterministic centrality: a graph then encodes
+        identically whether it is encoded alone, inside any batch, or by a
+        fresh identically-configured model.  The ``"random"`` centrality
+        draws per-graph identifiers from a stream, so its encodings depend
+        on how the evaluation groups the graphs — caching would silently
+        change (not just reorder) results.
+        """
+        return self.config.centrality != "random"
+
     def encode(self, graphs: Sequence[Graph]) -> np.ndarray:
         """Encode graphs with the trained encoder (exposed for inspection/tests)."""
         return self.encoder.encode_many(list(graphs))
@@ -138,6 +182,24 @@ class GraphHDClassifier:
             return []
         start = time.perf_counter()
         encodings = self.encoder.encode_many(graphs)
+        predictions = self.classifier.predict(encodings)
+        self.timings.inference_seconds = time.perf_counter() - start
+        return predictions
+
+    def predict_encoded(
+        self, encodings: Sequence[np.ndarray] | np.ndarray
+    ) -> list[Hashable]:
+        """Predict the class of each pre-encoded graph.
+
+        The counterpart of :meth:`fit_encoded`: inference against the class
+        hypervectors without re-encoding, for evaluation harnesses that cache
+        dataset encodings.  ``timings.inference_seconds`` records the pure
+        similarity-search cost.
+        """
+        encodings = np.asarray(encodings)
+        if encodings.shape[0] == 0:
+            return []
+        start = time.perf_counter()
         predictions = self.classifier.predict(encodings)
         self.timings.inference_seconds = time.perf_counter() - start
         return predictions
@@ -174,11 +236,9 @@ class GraphHDClassifier:
         """
         basis = self.encoder._basis
         item_keys = list(basis.keys())
-        item_matrix = (
-            np.vstack([basis._store[key] for key in item_keys])
-            if item_keys
-            else self.backend.empty(0, self.config.dimension)
-        )
+        # Rows of the contiguous basis matrix are in key-materialization
+        # order, which is exactly the iteration order of basis.keys().
+        item_matrix = np.array(basis.matrix, copy=True)
         memory = self.classifier.memory
         class_labels = memory.classes
         accumulators = (
@@ -230,7 +290,7 @@ class GraphHDClassifier:
             )
             item_vectors = data["item_vectors"]
             for key, vector in zip(data["item_keys"], item_vectors):
-                basis._store[key] = np.array(vector, copy=True)
+                basis.set(key, vector)
             model.encoder._tie_breaker = np.array(data["tie_breaker"], copy=True)
 
             memory = model.classifier.memory

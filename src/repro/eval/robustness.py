@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.model import GraphHDClassifier
+from repro.eval.cross_validation import supports_encoding_cache
 from repro.eval.metrics import accuracy_score
 from repro.graphs.graph import Graph
 
@@ -98,6 +99,7 @@ def graphhd_robustness_curve(
     corruption_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
     repetitions: int = 3,
     seed: int | None = 0,
+    encoding_cache: bool = True,
 ) -> RobustnessCurve:
     """Measure GraphHD accuracy while corrupting its class hypervectors.
 
@@ -110,20 +112,38 @@ def graphhd_robustness_curve(
     repetitions:
         Number of independent corruption draws averaged per fraction (the
         clean point is measured once).
+    encoding_cache:
+        Encode the train/test graphs once and refit every corruption draw
+        from the cached encodings (corruption only touches the trained class
+        vectors, so the curve is identical); disable to re-encode per draw.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
     fractions = sorted(set(float(fraction) for fraction in corruption_fractions))
     curve = RobustnessCurve(model_name="GraphHD")
     rng = np.random.default_rng(seed)
+
+    train_encodings = test_encodings = None
+    if encoding_cache:
+        probe = model_factory()
+        if supports_encoding_cache(probe):
+            train_encodings = probe.encode(list(train_graphs))
+            test_encodings = probe.encode(list(test_graphs))
+
     for fraction in fractions:
         accuracies = []
         draws = 1 if fraction == 0.0 else repetitions
         for _ in range(draws):
             model = model_factory()
-            model.fit(list(train_graphs), list(train_labels))
+            if train_encodings is not None:
+                model.fit_encoded(train_encodings, list(train_labels))
+            else:
+                model.fit(list(train_graphs), list(train_labels))
             corrupt_class_vectors(model, fraction, rng=rng)
-            predictions = model.predict(list(test_graphs))
+            if test_encodings is not None:
+                predictions = model.predict_encoded(test_encodings)
+            else:
+                predictions = model.predict(list(test_graphs))
             accuracies.append(accuracy_score(list(test_labels), predictions))
         curve.points.append(
             RobustnessPoint(

@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, concatenated_edge_arrays
 
 #: Damping factor used by the original PageRank formulation.
 DEFAULT_DAMPING = 0.85
@@ -107,6 +107,33 @@ def pagerank_matrix(
     return results
 
 
+def _block_diagonal_adjacency(
+    graphs: Sequence[Graph], offsets: np.ndarray
+) -> sparse.csr_matrix:
+    """Block-diagonal adjacency of a batch, built straight from edge arrays.
+
+    Equivalent to ``sparse.block_diag([g.adjacency_matrix() for g in graphs])``
+    (same canonical CSR matrix, hence bit-identical power iterations) but
+    assembled in one vectorized COO pass over the graphs' cached edge arrays
+    instead of per-graph sparse-matrix stacking.
+    """
+    total_vertices = int(offsets[-1])
+    edge_counts = np.fromiter(
+        (graph.num_edges for graph in graphs), dtype=np.int64, count=len(graphs)
+    )
+    if edge_counts.sum() == 0:
+        return sparse.csr_matrix((total_vertices, total_vertices), dtype=np.float64)
+    sources, targets = concatenated_edge_arrays(graphs, offsets, edge_counts)
+    off_diagonal = sources != targets
+    row_indices = np.concatenate([sources, targets[off_diagonal]])
+    col_indices = np.concatenate([targets, sources[off_diagonal]])
+    data = np.ones(len(row_indices), dtype=np.float64)
+    return sparse.coo_matrix(
+        (data, (row_indices, col_indices)),
+        shape=(total_vertices, total_vertices),
+    ).tocsr()
+
+
 def _pagerank_batch(
     graphs: Sequence[Graph], *, damping: float, iterations: int
 ) -> list[np.ndarray]:
@@ -117,16 +144,19 @@ def _pagerank_batch(
 
     sizes = [graph.num_vertices for graph in graphs]
     offsets = np.concatenate([[0], np.cumsum(sizes)])
-    blocks = [
-        graph.adjacency_matrix() if graph.num_vertices > 0 else sparse.csr_matrix((0, 0))
-        for graph in graphs
-    ]
-    adjacency = sparse.block_diag(blocks, format="csr")
+    adjacency = _block_diagonal_adjacency(graphs, offsets)
     total_vertices = adjacency.shape[0]
 
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
     inverse_degrees = np.where(degrees > 0, 1.0 / np.maximum(degrees, 1.0), 0.0)
-    transition = adjacency.multiply(inverse_degrees[:, None]).tocsr()
+    # Row-scale the adjacency in place (same values as a sparse ``multiply``
+    # with a column vector, without the COO round trip), and keep the
+    # transposed operator in CSR so every power iteration is a gather-style
+    # matvec.  Per output element the accumulation order is unchanged, so
+    # the iteration stays bit-identical to the naive formulation.
+    transition = adjacency.copy()
+    transition.data *= np.repeat(inverse_degrees, np.diff(adjacency.indptr))
+    transition_t = transition.T.tocsr()
     dangling = degrees == 0
 
     # Per-vertex teleport and initial mass are uniform *within each graph*.
@@ -139,7 +169,7 @@ def _pagerank_batch(
         dangling_contribution = np.zeros(len(graphs), dtype=np.float64)
         np.add.at(dangling_contribution, graph_of_vertex[dangling], rank[dangling])
         dangling_mass = dangling_contribution[graph_of_vertex] / per_graph_n
-        rank = teleport + damping * (transition.T @ rank + dangling_mass)
+        rank = teleport + damping * (transition_t @ rank + dangling_mass)
 
     results = []
     for index, graph in enumerate(graphs):
@@ -189,6 +219,32 @@ def eigenvector_centrality(
             break
         vector = new_vector
     return np.abs(vector)
+
+
+def centrality_ranks_batch(centralities: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Per-graph centrality ranks for a whole batch in one padded argsort.
+
+    Equivalent to ``[centrality_ranks(c) for c in centralities]`` (same
+    stable tie-breaking), but sorts all graphs at once: rows are padded with
+    ``+inf`` sentinels that sort after every real (negated) centrality, so
+    each row's leading entries order exactly as the per-graph sort.
+    """
+    count = len(centralities)
+    if count == 0:
+        return []
+    sizes = np.fromiter((len(c) for c in centralities), dtype=np.int64, count=count)
+    width = int(sizes.max())
+    if width == 0:
+        return [np.empty(0, dtype=np.int64) for _ in centralities]
+    negated = np.full((count, width), np.inf, dtype=np.float64)
+    populated = np.arange(width) < sizes[:, None]
+    negated[populated] = -np.concatenate(
+        [np.asarray(c, dtype=np.float64) for c in centralities if len(c)]
+    )
+    order = np.argsort(negated, axis=1, kind="stable")
+    ranks = np.empty((count, width), dtype=np.int64)
+    np.put_along_axis(ranks, order, np.broadcast_to(np.arange(width), (count, width)), axis=1)
+    return [ranks[index, : sizes[index]] for index in range(count)]
 
 
 def centrality_ranks(centrality: np.ndarray) -> np.ndarray:

@@ -16,6 +16,33 @@ import numpy as np
 from scipy import sparse
 
 
+def concatenated_edge_arrays(
+    graphs: Sequence["Graph"],
+    vertex_offsets: np.ndarray,
+    edge_counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every graph's cached edge arrays, concatenated with vertex offsets.
+
+    ``vertex_offsets`` must hold the cumulative vertex counts (length
+    ``len(graphs) + 1``) and ``edge_counts`` each graph's edge count; the
+    returned flat ``(sources, targets)`` arrays index vertices of the
+    batch-global (block-diagonal) vertex space.  Used by both the batched
+    PageRank assembly and the flat-batch encoder.
+    """
+    edge_offsets = np.repeat(
+        np.asarray(vertex_offsets[:-1], dtype=np.int64), edge_counts
+    )
+    if len(edge_offsets) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    sources = np.concatenate(
+        [graph.edge_arrays()[0] for graph in graphs if graph.num_edges]
+    )
+    targets = np.concatenate(
+        [graph.edge_arrays()[1] for graph in graphs if graph.num_edges]
+    )
+    return sources + edge_offsets, targets + edge_offsets
+
+
 class Graph:
     """An undirected graph with optional vertex and edge labels.
 
@@ -46,6 +73,7 @@ class Graph:
         "edge_labels",
         "graph_label",
         "_adjacency_matrix_cache",
+        "_edge_arrays_cache",
     )
 
     def __init__(
@@ -82,6 +110,7 @@ class Graph:
 
         self.graph_label = graph_label
         self._adjacency_matrix_cache: sparse.csr_matrix | None = None
+        self._edge_arrays_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # --------------------------------------------------------------- mutation
     @staticmethod
@@ -105,6 +134,7 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._adjacency_matrix_cache = None
+        self._edge_arrays_cache = None
 
     # ------------------------------------------------------------------ views
     @property
@@ -115,6 +145,23 @@ class Graph:
     def edges(self) -> list[tuple[int, int]]:
         """All edges as canonical ``(u, v)`` pairs with ``u <= v``, sorted."""
         return sorted(self._edges)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edges as cached, read-only int64 ``(sources, targets)`` arrays.
+
+        The arrays list the canonical edges in the same sorted order as
+        :meth:`edges` and are rebuilt lazily after :meth:`add_edge`; encoding
+        hot paths use them to avoid re-materializing Python tuple lists.
+        """
+        if self._edge_arrays_cache is None:
+            edges = sorted(self._edges)
+            count = len(edges)
+            sources = np.fromiter((u for u, _ in edges), dtype=np.int64, count=count)
+            targets = np.fromiter((v for _, v in edges), dtype=np.int64, count=count)
+            sources.flags.writeable = False
+            targets.flags.writeable = False
+            self._edge_arrays_cache = (sources, targets)
+        return self._edge_arrays_cache
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``(u, v)`` exists."""

@@ -113,12 +113,29 @@ class AssociativeMemory:
                 f"got {matrix.shape[1]}"
             )
         summed = self.backend.accumulate(matrix, self.dimension)
-        accumulator = self._accumulators.get(label)
-        if accumulator is None:
-            self._accumulators[label] = summed
+        self.add_accumulator(label, summed, matrix.shape[0])
+
+    def add_accumulator(
+        self, label: Hashable, accumulator: np.ndarray, count: int
+    ) -> None:
+        """Add a pre-computed component-space sum of ``count`` hypervectors.
+
+        Lets batch trainers accumulate all classes with one segmented kernel
+        call and hand the per-class sums over, instead of re-accumulating
+        per class through :meth:`add_many`.
+        """
+        accumulator = np.asarray(accumulator, dtype=ACCUMULATOR_DTYPE)
+        if accumulator.shape != (self.dimension,):
+            raise ValueError(
+                f"expected an accumulator of shape ({self.dimension},), "
+                f"got {accumulator.shape}"
+            )
+        existing = self._accumulators.get(label)
+        if existing is None:
+            self._accumulators[label] = accumulator.copy()
         else:
-            accumulator += summed
-        self._counts[label] = self._counts.get(label, 0) + matrix.shape[0]
+            existing += accumulator
+        self._counts[label] = self._counts.get(label, 0) + int(count)
 
     # ---------------------------------------------------------------- queries
     def class_vector(self, label: Hashable, *, normalized: bool | None = None) -> np.ndarray:

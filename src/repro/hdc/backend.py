@@ -198,6 +198,62 @@ class HDCBackend(ABC):
     def accumulate(self, native_matrix: np.ndarray, dimension: int) -> np.ndarray:
         """Signed component-space sum of native hypervectors (``int64 (d,)``)."""
 
+    def segment_accumulate(
+        self,
+        native_matrix: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        dimension: int,
+    ) -> np.ndarray:
+        """Per-segment signed component-space sums of native hypervectors.
+
+        Row ``i`` of ``native_matrix`` is added into output row
+        ``segment_ids[i]``; the result is an ``int64 (num_segments, d)``
+        accumulator matrix (rows of absent segments are zero).  This is the
+        bundling kernel of the flat-batch graph encoder: the edge
+        hypervectors of a whole dataset are accumulated into per-graph
+        bundles in one call.  Segment ids may be in any order, but the
+        sorted (non-decreasing) order produced by concatenating per-graph
+        edge lists is the fast path.
+        """
+        matrix = np.atleast_2d(np.asarray(native_matrix))
+        ids = np.asarray(segment_ids, dtype=np.int64)
+        if num_segments < 0:
+            raise ValueError(f"num_segments must be non-negative, got {num_segments}")
+        if ids.ndim != 1 or ids.shape[0] != matrix.shape[0]:
+            raise ValueError(
+                f"segment_ids of shape {ids.shape} does not match "
+                f"{matrix.shape[0]} hypervectors"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+            raise ValueError(
+                f"segment ids must lie in [0, {num_segments}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        output = np.zeros((num_segments, dimension), dtype=ACCUMULATOR_DTYPE)
+        if matrix.shape[0] == 0:
+            return output
+        if ids.size > 1 and np.any(ids[1:] < ids[:-1]):
+            order = np.argsort(ids, kind="stable")
+            matrix = matrix[order]
+            ids = ids[order]
+        self._segment_accumulate_sorted(matrix, ids, output, dimension)
+        return output
+
+    def _segment_accumulate_sorted(
+        self,
+        native_matrix: np.ndarray,
+        sorted_ids: np.ndarray,
+        output: np.ndarray,
+        dimension: int,
+    ) -> None:
+        """Accumulate rows grouped by non-decreasing ``sorted_ids`` into ``output``."""
+        unique_ids, starts = np.unique(sorted_ids, return_index=True)
+        boundaries = np.append(starts, len(sorted_ids))
+        for index, segment in enumerate(unique_ids):
+            block = native_matrix[boundaries[index] : boundaries[index + 1]]
+            output[segment] += self.accumulate(block, dimension)
+
     @abstractmethod
     def normalize(
         self,
@@ -302,13 +358,33 @@ class DenseBackend(HDCBackend):
         b = np.asarray(b)
         if a.shape != b.shape:
             raise ValueError(f"cannot bind hypervectors of shapes {a.shape} and {b.shape}")
-        return (a.astype(np.int16) * b.astype(np.int16)).astype(HV_DTYPE)
+        # Native hypervectors are bipolar {-1, +1}, so the int8 product can
+        # never overflow; multiplying in int8 halves the memory traffic of
+        # the flat-batch edge-binding hot path.
+        return np.multiply(a, b, dtype=HV_DTYPE)
 
     def accumulate(self, native_matrix: np.ndarray, dimension: int) -> np.ndarray:
         matrix = np.atleast_2d(np.asarray(native_matrix))
         if matrix.shape[0] == 0:
             return np.zeros(dimension, dtype=ACCUMULATOR_DTYPE)
         return matrix.astype(ACCUMULATOR_DTYPE).sum(axis=0)
+
+    def _segment_accumulate_sorted(
+        self,
+        native_matrix: np.ndarray,
+        sorted_ids: np.ndarray,
+        output: np.ndarray,
+        dimension: int,
+    ) -> None:
+        # Each present segment is a contiguous row range; summing the ranges
+        # with `ndarray.sum` (SIMD-vectorized over the contiguous rows) is
+        # an order of magnitude faster here than `np.add.reduceat`, whose
+        # axis-0 reduction degenerates to a strided inner loop.
+        unique_ids, starts = np.unique(sorted_ids, return_index=True)
+        boundaries = np.append(starts, len(sorted_ids))
+        for index, segment in enumerate(unique_ids):
+            block = native_matrix[boundaries[index] : boundaries[index + 1]]
+            output[segment] += block.sum(axis=0, dtype=ACCUMULATOR_DTYPE)
 
     def normalize(
         self,
@@ -411,6 +487,33 @@ class PackedBackend(HDCBackend):
             bits = np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :dimension]
             negative_counts += bits.sum(axis=0, dtype=ACCUMULATOR_DTYPE)
         return count - 2 * negative_counts
+
+    def _segment_accumulate_sorted(
+        self,
+        native_matrix: np.ndarray,
+        sorted_ids: np.ndarray,
+        output: np.ndarray,
+        dimension: int,
+    ) -> None:
+        # Per-bitplane accumulation in row blocks: unpack each block's words
+        # to component bits (bounding transient memory), count the -1 bits
+        # per contiguous segment slice, and convert to the signed sum
+        # (#+1) - (#-1) = rows_in_segment - 2 * negative_counts.  A segment
+        # spanning two blocks simply receives two partial sums.
+        matrix = np.asarray(native_matrix, dtype=PACKED_DTYPE)
+        count = matrix.shape[0]
+        for start in range(0, count, self.ACCUMULATE_BLOCK_ROWS):
+            block = matrix[start : start + self.ACCUMULATE_BLOCK_ROWS]
+            block_ids = sorted_ids[start : start + self.ACCUMULATE_BLOCK_ROWS]
+            bytes_view = np.ascontiguousarray(block).view(np.uint8)
+            bits = np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :dimension]
+            unique_ids, segment_starts = np.unique(block_ids, return_index=True)
+            boundaries = np.append(segment_starts, len(block_ids))
+            for index, segment in enumerate(unique_ids):
+                segment_bits = bits[boundaries[index] : boundaries[index + 1]]
+                output[segment] += segment_bits.shape[0] - 2 * segment_bits.sum(
+                    axis=0, dtype=ACCUMULATOR_DTYPE
+                )
 
     def normalize(
         self,

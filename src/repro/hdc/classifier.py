@@ -27,6 +27,25 @@ from repro.hdc.backend import HDCBackend, get_backend
 from repro.hdc.hypervector import ensure_matrix
 
 
+def label_class_indices(
+    labels: Sequence[Hashable],
+) -> tuple[list[Hashable], np.ndarray]:
+    """Map labels to (first-seen class list, per-sample int64 class indices).
+
+    Comparing integer class indices sidesteps the ``ndarray == tuple``
+    broadcasting hazard of object-array comparisons, so sequence labels
+    (e.g. tuples) group correctly; shared by every batch trainer that
+    partitions encodings per class.
+    """
+    labels = list(labels)
+    class_labels = list(dict.fromkeys(labels))
+    index_of = {label: index for index, label in enumerate(class_labels)}
+    class_ids = np.fromiter(
+        (index_of[label] for label in labels), dtype=np.int64, count=len(labels)
+    )
+    return class_labels, class_ids
+
+
 @dataclass
 class RetrainingReport:
     """Summary of a retraining run.
@@ -110,16 +129,16 @@ class CentroidClassifier:
             raise ValueError(
                 f"expected encodings of dimension {expected_width}, got {matrix.shape[1]}"
             )
-        # Build the per-class masks by element-wise comparison: asarray with
-        # dtype=object would broadcast sequence labels (e.g. tuples) into a
-        # 2-D array and produce a 2-D mask.
-        for label in dict.fromkeys(labels):
-            mask = np.fromiter(
-                (candidate == label for candidate in labels),
-                dtype=bool,
-                count=len(labels),
-            )
-            self.memory.add_many(label, matrix[mask])
+        # Map every label to a class index (first-seen order) and accumulate
+        # all classes with one segmented kernel call.  Integer sums commute,
+        # so the class vectors are exactly those of per-class accumulation.
+        class_labels, class_ids = label_class_indices(labels)
+        counts = np.bincount(class_ids, minlength=len(class_labels))
+        accumulators = self.backend.segment_accumulate(
+            matrix, class_ids, len(class_labels), self.dimension
+        )
+        for index, label in enumerate(class_labels):
+            self.memory.add_accumulator(label, accumulators[index], int(counts[index]))
         self._is_fitted = True
         return self
 

@@ -40,6 +40,11 @@ class ItemMemory:
     for the packed backend).  Both backends consume the same random stream,
     so for a given seed the packed entries are exactly the bit-packing of the
     dense entries.
+
+    Internally the entries live as rows of one contiguous, append-only
+    ``(capacity, storage_width)`` matrix (grown by doubling), so batched
+    lookups are plain row gathers instead of a ``np.vstack`` over a dict —
+    the flat-batch graph encoder indexes straight into :attr:`matrix`.
     """
 
     def __init__(
@@ -54,27 +59,99 @@ class ItemMemory:
         self.dimension = int(dimension)
         self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
-        self._store: dict[Hashable, np.ndarray] = {}
+        self._index: dict[Hashable, int] = {}
+        self._matrix = self.backend.empty(0, self.dimension)
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._index)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        return key in self._index
 
     def keys(self) -> Iterable[Hashable]:
         """Keys that currently have a materialized hypervector."""
-        return self._store.keys()
+        return self._index.keys()
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Contiguous ``(len(self), storage_width)`` view of all entries.
+
+        Row ``i`` is the hypervector of the ``i``-th materialized key (see
+        :meth:`index_of`); the view is read-only and stays valid until the
+        next entry is materialized.
+        """
+        view = self._matrix[: len(self._index)]
+        view.flags.writeable = False
+        return view
+
+    def index_of(self, key: Hashable) -> int:
+        """Row index of ``key`` in :attr:`matrix`, materializing it if needed."""
+        index = self._index.get(key)
+        if index is None:
+            index = self._append(self.backend.random_one(self.dimension, rng=self._rng))
+            self._index[key] = index
+        return index
+
+    def _append(self, hypervector: np.ndarray) -> int:
+        count = len(self._index)
+        if count >= self._matrix.shape[0]:
+            capacity = max(8, 2 * self._matrix.shape[0])
+            grown = self.backend.empty(capacity, self.dimension)
+            grown[:count] = self._matrix[:count]
+            self._matrix = grown
+        self._matrix[count] = hypervector
+        return count
 
     def get(self, key: Hashable) -> np.ndarray:
         """Return the hypervector for ``key``, creating it on first access."""
-        hypervector = self._store.get(key)
-        if hypervector is None:
-            hypervector = self.backend.random_one(self.dimension, rng=self._rng)
-            self._store[key] = hypervector
-        return hypervector
+        # Materialize before indexing: appending may reallocate the matrix.
+        index = self.index_of(key)
+        return self._matrix[index]
 
     __getitem__ = get
+
+    def set(self, key: Hashable, hypervector: np.ndarray) -> None:
+        """Store an explicit hypervector for ``key`` (used by model loading).
+
+        Overwrites the entry if ``key`` is already materialized; otherwise the
+        vector is appended without consuming the random stream.
+        """
+        hypervector = np.asarray(hypervector, dtype=self._matrix.dtype)
+        expected = self.backend.storage_width(self.dimension)
+        if hypervector.shape != (expected,):
+            raise ValueError(
+                f"expected a hypervector of shape ({expected},), got {hypervector.shape}"
+            )
+        index = self._index.get(key)
+        if index is None:
+            self._index[key] = self._append(hypervector)
+        else:
+            self._matrix[index] = hypervector
+
+    def _ensure_keys(self, keys: list[Hashable]) -> None:
+        """Materialize ``keys``, unseen ones first in sorted order when possible."""
+        unseen = [key for key in keys if key not in self._index]
+        if not unseen:
+            return
+        try:
+            ordered = sorted(set(unseen))
+        except TypeError:
+            ordered = list(dict.fromkeys(unseen))
+        for key in ordered:
+            self.index_of(key)
+
+    def indices_for(self, keys: Iterable[Hashable]) -> np.ndarray:
+        """Row indices of ``keys`` in :attr:`matrix` as an int64 array.
+
+        Unseen keys are materialized first, in sorted order when possible, so
+        the mapping does not depend on the order of the query.
+        """
+        keys = list(keys)
+        self._ensure_keys(keys)
+        index = self._index
+        return np.fromiter(
+            (index[key] for key in keys), dtype=np.int64, count=len(keys)
+        )
 
     def get_many(self, keys: Iterable[Hashable]) -> np.ndarray:
         """Return hypervectors for ``keys`` stacked into a ``(len, d)`` array.
@@ -83,21 +160,15 @@ class ItemMemory:
         that the mapping does not depend on the order of the query.
         """
         keys = list(keys)
-        unseen = [key for key in keys if key not in self._store]
-        if unseen:
-            try:
-                ordered = sorted(set(unseen))
-            except TypeError:
-                ordered = list(dict.fromkeys(unseen))
-            for key in ordered:
-                self.get(key)
         if not keys:
             return self.backend.empty(0, self.dimension)
-        return np.vstack([self._store[key] for key in keys])
+        # Materialize before indexing: appending may reallocate the matrix.
+        indices = self.indices_for(keys)
+        return self._matrix[indices]
 
     def as_dict(self) -> Mapping[Hashable, np.ndarray]:
         """Read-only snapshot of the materialized entries."""
-        return dict(self._store)
+        return {key: self._matrix[index].copy() for key, index in self._index.items()}
 
 
 class LevelItemMemory:

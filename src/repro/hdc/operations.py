@@ -97,6 +97,10 @@ def normalize_hard(
     normalization fully deterministic (ties copy the tie-breaker's sign),
     which GraphHD uses so that a graph always encodes to the same hypervector
     regardless of batching.
+
+    ``accumulator`` may also be a ``(count, dimension)`` matrix of
+    accumulators (the flat-batch encoding path normalizes a whole dataset at
+    once); a 1-D ``tie_breaker`` is then broadcast across the rows.
     """
     accumulator = np.asarray(accumulator)
     signed = np.sign(accumulator).astype(HV_DTYPE)
@@ -104,12 +108,14 @@ def normalize_hard(
     if np.any(ties):
         if tie_breaker is not None:
             tie_breaker = np.asarray(tie_breaker)
-            if tie_breaker.shape != signed.shape:
+            if tie_breaker.shape != signed.shape[-tie_breaker.ndim :]:
                 raise ValueError(
                     f"tie_breaker shape {tie_breaker.shape} does not match "
                     f"accumulator shape {signed.shape}"
                 )
-            signed[ties] = tie_breaker[ties].astype(HV_DTYPE)
+            signed[ties] = np.broadcast_to(tie_breaker, signed.shape)[ties].astype(
+                HV_DTYPE
+            )
         else:
             generator = (
                 rng

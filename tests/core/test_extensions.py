@@ -191,3 +191,45 @@ class TestLabelAwareEncoder:
         # All graphs are isomorphic cycles, so the structural encodings of the
         # two classes are indistinguishable.
         assert np.array_equal(structural_encodings[0], structural_encodings[1])
+
+
+class TestEncodedPathExtensions:
+    def test_multicentroid_fit_encoded_with_tuple_labels(self, two_class_dataset):
+        graphs = two_class_dataset.graphs
+        labels = [("class", label) for label in two_class_dataset.labels]
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=512, seed=0), centroids_per_class=2
+        )
+        model.fit_encoded(model.encode(graphs), labels)
+        predictions = model.predict_encoded(model.encode(graphs))
+        assert set(predictions) <= set(labels)
+
+    def test_multicentroid_encoded_path_matches_graph_path(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=1024, seed=0)
+        direct = MultiCentroidGraphHDClassifier(config, centroids_per_class=2)
+        direct.fit(graphs, labels)
+        cached = MultiCentroidGraphHDClassifier(config, centroids_per_class=2)
+        cached.fit_encoded(cached.encode(graphs), labels)
+        assert cached.predict_encoded(cached.encode(graphs)) == direct.predict(graphs)
+
+    def test_retrained_fit_encoded_matches_fit(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=1024, seed=0)
+        direct = RetrainedGraphHDClassifier(config, retrain_epochs=3)
+        direct.fit(graphs, labels)
+        cached = RetrainedGraphHDClassifier(config, retrain_epochs=3)
+        cached.fit_encoded(cached.encode(graphs), labels)
+        assert cached.predict(graphs) == direct.predict(graphs)
+        assert cached.retraining_report is not None
+
+    def test_label_aware_encoder_batches_via_per_graph_path(self, labelled_graph):
+        # The label-aware encoder overrides per-graph hooks; encode_many must
+        # detect that automatically and keep the overridden behaviour.
+        encoder = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=512, seed=0))
+        assert not encoder._uses_base_encoding_hooks()
+        reference = LabelAwareGraphHDEncoder(GraphHDConfig(dimension=512, seed=0))
+        batch = encoder.encode_many([labelled_graph, labelled_graph])
+        single = reference.encode(labelled_graph)
+        assert np.array_equal(batch[0], single)
+        assert np.array_equal(batch[1], single)

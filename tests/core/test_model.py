@@ -187,3 +187,56 @@ class TestReproducibility:
     def test_dimension_10000_default(self):
         model = GraphHDClassifier()
         assert model.config.dimension == 10_000
+
+
+class TestEncodedPath:
+    def test_fit_encoded_matches_fit(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=1024, seed=0)
+
+        fitted = GraphHDClassifier(config).fit(graphs, labels)
+        encoded_model = GraphHDClassifier(config)
+        encodings = encoded_model.encode(graphs)
+        encoded_model.fit_encoded(encodings, labels)
+
+        memory_a = fitted.classifier.memory
+        memory_b = encoded_model.classifier.memory
+        assert memory_a.classes == memory_b.classes
+        for label in memory_a.classes:
+            assert np.array_equal(
+                memory_a.class_vector(label, normalized=False),
+                memory_b.class_vector(label, normalized=False),
+            )
+
+    def test_predict_encoded_matches_predict(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=1024, seed=0)
+        model = GraphHDClassifier(config).fit(graphs, labels)
+        encodings = model.encode(graphs)
+        assert model.predict_encoded(encodings) == model.predict(graphs)
+        assert model.predict_encoded(np.empty((0, 1024), dtype=np.int8)) == []
+
+    def test_fit_encoded_timings_record_accumulation_only(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model = GraphHDClassifier(GraphHDConfig(dimension=512, seed=0))
+        model.fit_encoded(model.encode(graphs), labels)
+        assert model.timings.encoding_seconds == 0.0
+        assert model.timings.accumulation_seconds > 0.0
+        assert model.timings.training_seconds == model.timings.accumulation_seconds
+
+    def test_fit_encoded_validates_input(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model = GraphHDClassifier(GraphHDConfig(dimension=256, seed=0))
+        encodings = model.encode(graphs)
+        with pytest.raises(ValueError):
+            model.fit_encoded(encodings, labels[:-1])
+        with pytest.raises(ValueError):
+            model.fit_encoded(encodings[:0], [])
+
+    def test_fit_encoded_packed_backend(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=1024, seed=0, backend="packed")
+        fitted = GraphHDClassifier(config).fit(graphs, labels)
+        cached = GraphHDClassifier(config)
+        cached.fit_encoded(cached.encode(graphs), labels)
+        assert cached.predict_encoded(cached.encode(graphs)) == fitted.predict(graphs)

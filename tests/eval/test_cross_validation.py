@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
-from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
+from repro.eval.cross_validation import (
+    CrossValidationResult,
+    FoldResult,
+    cross_validate,
+    supports_encoding_cache,
+)
 
 
 def graphhd_factory():
@@ -102,7 +107,145 @@ class TestCrossValidate:
             return model
 
         cross_validate(
-            counting_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+            counting_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+            encoding_cache=False,
         )
         assert len(created) == 5
         assert len({id(model) for model in created}) == 5
+
+    def test_fresh_model_per_fold_with_cache_probe(self, two_class_dataset):
+        created = []
+
+        def counting_factory():
+            model = graphhd_factory()
+            created.append(model)
+            return model
+
+        cross_validate(
+            counting_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        # One probe model encodes the dataset, then one fresh model per fold.
+        assert len(created) == 6
+        assert len({id(model) for model in created}) == 6
+
+
+class TestEncodingCache:
+    def test_supports_encoding_cache_protocol(self):
+        assert supports_encoding_cache(graphhd_factory())
+
+        class FitPredictOnly:
+            def fit(self, graphs, labels):
+                return self
+
+            def predict(self, graphs):
+                return []
+
+        assert not supports_encoding_cache(FitPredictOnly())
+
+    def test_cached_and_uncached_accuracies_identical(self, two_class_dataset):
+        cached = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=2,
+            seed=0,
+            encoding_cache=True,
+        )
+        uncached = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=2,
+            seed=0,
+            encoding_cache=False,
+        )
+        assert [fold.accuracy for fold in cached.folds] == [
+            fold.accuracy for fold in uncached.folds
+        ]
+        assert cached.mean_accuracy == uncached.mean_accuracy
+
+    def test_cached_accuracies_identical_with_tuple_labels(self, two_class_dataset):
+        # Hashable structured labels (tuples) must survive the encoded path.
+        for graph in two_class_dataset.graphs:
+            graph.graph_label = ("class", graph.graph_label)
+        results = {}
+        for flag in (True, False):
+            results[flag] = cross_validate(
+                graphhd_factory,
+                two_class_dataset,
+                n_splits=4,
+                repetitions=1,
+                seed=0,
+                encoding_cache=flag,
+            )
+        assert [fold.accuracy for fold in results[True].folds] == [
+            fold.accuracy for fold in results[False].folds
+        ]
+
+    def test_cache_reports_encoding_cost_separately(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        assert result.encoding_cached
+        assert result.encoding_seconds > 0.0
+        summary = result.summary()
+        assert summary["encoding_cached"] is True
+        assert summary["encoding_seconds"] == result.encoding_seconds
+
+    def test_uncached_result_reports_no_encoding_cost(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+            encoding_cache=False,
+        )
+        assert not result.encoding_cached
+        assert result.encoding_seconds == 0.0
+
+    def test_random_centrality_vetoes_cache(self, two_class_dataset):
+        # "random" vertex identifiers consume a stream per encoded batch, so
+        # caching would change (not just reorder) results; the model vetoes
+        # the cache and cached/uncached runs therefore stay identical.
+        def random_factory():
+            return GraphHDClassifier(
+                GraphHDConfig(dimension=512, seed=0, centrality="random")
+            )
+
+        assert not supports_encoding_cache(random_factory())
+        cached = cross_validate(
+            random_factory, two_class_dataset, n_splits=4, repetitions=1, seed=0
+        )
+        uncached = cross_validate(
+            random_factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            encoding_cache=False,
+        )
+        assert not cached.encoding_cached
+        assert [fold.accuracy for fold in cached.folds] == [
+            fold.accuracy for fold in uncached.folds
+        ]
+
+    def test_cache_ignored_for_unsupported_methods(self, two_class_dataset):
+        class MajorityVote:
+            def fit(self, graphs, labels):
+                labels = list(labels)
+                self.majority = max(set(labels), key=labels.count)
+                return self
+
+            def predict(self, graphs):
+                return [self.majority for _ in graphs]
+
+        result = cross_validate(
+            MajorityVote, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        assert not result.encoding_cached
+        assert len(result.folds) == 5

@@ -197,3 +197,32 @@ class TestCopyAndRelabel:
     def test_relabel_wrong_length(self, triangle_graph):
         with pytest.raises(ValueError):
             triangle_graph.relabel(["a"])
+
+
+class TestEdgeArrays:
+    def test_edge_arrays_match_sorted_edges(self, triangle_graph):
+        sources, targets = triangle_graph.edge_arrays()
+        assert sources.dtype == np.int64 and targets.dtype == np.int64
+        assert list(zip(sources, targets)) == triangle_graph.edges()
+
+    def test_edge_arrays_cached(self, triangle_graph):
+        first = triangle_graph.edge_arrays()
+        second = triangle_graph.edge_arrays()
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_edge_arrays_invalidated_by_add_edge(self):
+        graph = Graph(4, [(0, 1)])
+        before = graph.edge_arrays()
+        graph.add_edge(2, 3)
+        sources, targets = graph.edge_arrays()
+        assert sources is not before[0]
+        assert list(zip(sources, targets)) == [(0, 1), (2, 3)]
+
+    def test_edge_arrays_read_only(self, triangle_graph):
+        sources, _ = triangle_graph.edge_arrays()
+        with pytest.raises(ValueError):
+            sources[0] = 99
+
+    def test_edge_arrays_empty_graph(self):
+        sources, targets = Graph(3).edge_arrays()
+        assert sources.shape == (0,) and targets.shape == (0,)

@@ -252,3 +252,73 @@ class TestSimilarity:
             packed.hamming_distances(
                 np.zeros((1, 2), dtype=np.uint64), np.zeros((1, 3), dtype=np.uint64)
             )
+
+
+class TestSegmentAccumulate:
+    @pytest.fixture
+    def batch(self):
+        rng = np.random.default_rng(11)
+        matrix = random_hypervectors(20, 96, rng=rng)
+        segment_ids = np.sort(rng.integers(0, 5, size=20))
+        return matrix, segment_ids
+
+    def expected(self, matrix, segment_ids, num_segments):
+        out = np.zeros((num_segments, matrix.shape[1]), dtype=np.int64)
+        for row, segment in zip(matrix, segment_ids):
+            out[segment] += row.astype(np.int64)
+        return out
+
+    def test_dense_matches_per_segment_sums(self, dense, batch):
+        matrix, ids = batch
+        result = dense.segment_accumulate(matrix, ids, 5, 96)
+        assert np.array_equal(result, self.expected(matrix, ids, 5))
+
+    def test_packed_matches_dense(self, dense, packed, batch):
+        matrix, ids = batch
+        expected = dense.segment_accumulate(matrix, ids, 5, 96)
+        packed_result = packed.segment_accumulate(pack_bipolar(matrix), ids, 5, 96)
+        assert np.array_equal(packed_result, expected)
+
+    def test_unsorted_ids_supported(self, dense, batch):
+        matrix, ids = batch
+        order = np.random.default_rng(3).permutation(len(ids))
+        shuffled = dense.segment_accumulate(matrix[order], ids[order], 5, 96)
+        assert np.array_equal(shuffled, self.expected(matrix, ids, 5))
+
+    def test_empty_segments_stay_zero(self, dense):
+        matrix = random_hypervectors(4, 32, rng=0)
+        ids = np.array([1, 1, 3, 3])
+        result = dense.segment_accumulate(matrix, ids, 6, 32)
+        for empty in (0, 2, 4, 5):
+            assert not result[empty].any()
+
+    def test_no_rows(self, dense, packed):
+        for backend in (dense, packed):
+            result = backend.segment_accumulate(
+                backend.empty(0, 64), np.empty(0, dtype=np.int64), 3, 64
+            )
+            assert result.shape == (3, 64)
+            assert not result.any()
+
+    def test_packed_blocked_accumulation(self, packed):
+        matrix = random_hypervectors(50, 70, rng=5)
+        ids = np.sort(np.random.default_rng(5).integers(0, 4, size=50))
+        packed.ACCUMULATE_BLOCK_ROWS, saved = 8, packed.ACCUMULATE_BLOCK_ROWS
+        try:
+            result = packed.segment_accumulate(pack_bipolar(matrix), ids, 4, 70)
+        finally:
+            packed.ACCUMULATE_BLOCK_ROWS = saved
+        expected = np.zeros((4, 70), dtype=np.int64)
+        for row, segment in zip(matrix, ids):
+            expected[segment] += row.astype(np.int64)
+        assert np.array_equal(result, expected)
+
+    def test_out_of_range_ids_rejected(self, dense):
+        matrix = random_hypervectors(2, 16, rng=0)
+        with pytest.raises(ValueError):
+            dense.segment_accumulate(matrix, np.array([0, 5]), 3, 16)
+
+    def test_mismatched_ids_rejected(self, dense):
+        matrix = random_hypervectors(3, 16, rng=0)
+        with pytest.raises(ValueError):
+            dense.segment_accumulate(matrix, np.array([0, 1]), 3, 16)

@@ -163,3 +163,60 @@ class TestCircularItemMemory:
         memory = CircularItemMemory(5, 100, seed=0)
         assert memory.all_vectors().shape == (5, 100)
         assert len(memory) == 5
+
+
+class TestItemMemoryContiguousMatrix:
+    def test_matrix_rows_follow_materialization_order(self):
+        memory = ItemMemory(64, seed=0)
+        for key in ("a", "b", "c"):
+            memory.get(key)
+        matrix = memory.matrix
+        assert matrix.shape == (3, 64)
+        for row, key in enumerate(("a", "b", "c")):
+            assert np.array_equal(matrix[row], memory.get(key))
+
+    def test_matrix_view_is_read_only(self):
+        memory = ItemMemory(64, seed=0)
+        memory.get("a")
+        with pytest.raises(ValueError):
+            memory.matrix[0, 0] = 1
+
+    def test_indices_for_returns_stable_rows(self):
+        memory = ItemMemory(64, seed=0)
+        indices = memory.indices_for([2, 0, 1, 0])
+        assert indices.dtype == np.int64
+        assert len(indices) == 4
+        # Unseen keys materialize in sorted order: key k -> row k here.
+        assert list(indices) == [2, 0, 1, 0]
+        assert list(memory.indices_for([0, 1, 2])) == [0, 1, 2]
+
+    def test_get_many_equals_matrix_gather(self):
+        memory = ItemMemory(32, seed=3)
+        keys = [5, 1, 3, 1, 5]
+        stacked = memory.get_many(keys)
+        assert np.array_equal(stacked, memory.matrix[memory.indices_for(keys)])
+
+    def test_growth_preserves_existing_entries(self):
+        memory = ItemMemory(16, seed=1)
+        first = memory.get(0).copy()
+        for key in range(100):  # force several capacity doublings
+            memory.get(key)
+        assert np.array_equal(memory.get(0), first)
+        assert memory.matrix.shape == (100, 16)
+
+    def test_set_overwrites_and_appends(self):
+        memory = ItemMemory(8, seed=0)
+        vector = np.ones(8, dtype=np.int8)
+        memory.set("fresh", vector)
+        assert np.array_equal(memory.get("fresh"), vector)
+        memory.set("fresh", -vector)
+        assert np.array_equal(memory.get("fresh"), -vector)
+        with pytest.raises(ValueError):
+            memory.set("bad", np.ones(5, dtype=np.int8))
+
+    def test_as_dict_returns_copies(self):
+        memory = ItemMemory(8, seed=0)
+        memory.get("a")
+        snapshot = memory.as_dict()
+        snapshot["a"][:] = 0
+        assert not np.array_equal(memory.get("a"), snapshot["a"])

@@ -1,0 +1,119 @@
+"""Property-based tests: flat-batch encoding == per-graph encoding, bitwise.
+
+The flat-batch path of :meth:`GraphHDEncoder.encode_many` reorganizes the
+whole computation (batched ranks, rank-pair tables, fused normalization)
+but must remain *bit-identical* to encoding every graph individually with
+:meth:`GraphHDEncoder.encode`.  These tests drive randomized batches — mixed
+sizes, empty graphs, self-loops, every centrality and both backends —
+through both orchestrations, with the pair-table gate both engaged and
+forced off (exercising the per-graph delegation route).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import GraphHDConfig, GraphHDEncoder
+from repro.graphs.graph import Graph
+
+DIMENSION = 256
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+backends = st.sampled_from(["dense", "packed"])
+centralities = st.sampled_from(["pagerank", "degree", "eigenvector", "random"])
+
+
+def random_batch(seed: int) -> list[Graph]:
+    """A randomized batch of graphs: mixed sizes, empty graphs, self-loops."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for _ in range(int(rng.integers(1, 10))):
+        num_vertices = int(rng.integers(0, 14))
+        graph = Graph(num_vertices)
+        if num_vertices:
+            for _ in range(int(rng.integers(0, 2 * num_vertices + 1))):
+                u = int(rng.integers(0, num_vertices))
+                v = int(rng.integers(0, num_vertices))
+                graph.add_edge(u, v)  # may be a self-loop or a duplicate
+        graphs.append(graph)
+    # Always exercise the degenerate shapes alongside the random ones.
+    graphs.append(Graph(0))
+    graphs.append(Graph(3))
+    return graphs
+
+
+def encoders(seed: int, **config) -> tuple[GraphHDEncoder, GraphHDEncoder, GraphHDEncoder]:
+    """Three fresh encoders with one config: flat, pair-table-disabled, reference."""
+    flat = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=seed, **config))
+    fallback = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=seed, **config))
+    fallback.PAIR_TABLE_MIN_REUSE = float("inf")  # force the per-graph route
+    reference = GraphHDEncoder(GraphHDConfig(dimension=DIMENSION, seed=seed, **config))
+    return flat, fallback, reference
+
+
+@given(seed=seeds, backend=backends)
+@settings(max_examples=25, deadline=None)
+def test_flat_batch_matches_per_graph(seed, backend):
+    graphs = random_batch(seed)
+    flat, fallback, reference = encoders(seed % 1000, backend=backend)
+    expected = reference.encode_many_per_graph(graphs)
+    assert np.array_equal(flat.encode_many(graphs), expected)
+    assert np.array_equal(fallback.encode_many(graphs), expected)
+
+
+@given(seed=seeds, backend=backends)
+@settings(max_examples=15, deadline=None)
+def test_flat_batch_matches_single_encodes(seed, backend):
+    graphs = random_batch(seed)
+    flat, _, reference = encoders(seed % 1000, backend=backend)
+    batch = flat.encode_many(graphs)
+    singles = np.vstack([reference.encode(graph) for graph in graphs])
+    assert np.array_equal(batch, singles)
+
+
+@given(seed=seeds, backend=backends, centrality=centralities)
+@settings(max_examples=20, deadline=None)
+def test_flat_batch_matches_for_every_centrality(seed, backend, centrality):
+    graphs = random_batch(seed)
+    flat, fallback, reference = encoders(
+        seed % 1000, backend=backend, centrality=centrality
+    )
+    expected = reference.encode_many_per_graph(graphs)
+    assert np.array_equal(flat.encode_many(graphs), expected)
+    assert np.array_equal(fallback.encode_many(graphs), expected)
+
+
+@given(seed=seeds, backend=backends)
+@settings(max_examples=20, deadline=None)
+def test_flat_batch_matches_with_vertices_bundled(seed, backend):
+    graphs = random_batch(seed)
+    flat, fallback, reference = encoders(
+        seed % 1000, backend=backend, include_vertices=True
+    )
+    expected = reference.encode_many_per_graph(graphs)
+    assert np.array_equal(flat.encode_many(graphs), expected)
+    assert np.array_equal(fallback.encode_many(graphs), expected)
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_flat_batch_matches_unnormalized_accumulators(seed):
+    graphs = random_batch(seed)
+    flat, fallback, reference = encoders(
+        seed % 1000, backend="dense", normalize_graph_hypervectors=False
+    )
+    expected = reference.encode_many_per_graph(graphs)
+    for result in (flat.encode_many(graphs), fallback.encode_many(graphs)):
+        assert result.dtype == expected.dtype == np.int64
+        assert np.array_equal(result, expected)
+
+
+@given(seed=seeds, backend=backends)
+@settings(max_examples=10, deadline=None)
+def test_flat_batch_empty_and_edgeless_graphs(seed, backend):
+    graphs = [Graph(0), Graph(1), Graph(4), Graph(0)]
+    flat, _, reference = encoders(seed % 1000, backend=backend)
+    batch = flat.encode_many(graphs)
+    expected = reference.encode_many_per_graph(graphs)
+    assert batch.shape == expected.shape
+    assert np.array_equal(batch, expected)
