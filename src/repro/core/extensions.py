@@ -21,6 +21,7 @@ optional/extension scope:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Hashable, Sequence
 
@@ -139,6 +140,16 @@ class MultiCentroidGraphHDClassifier:
     def encoding_cache_safe(self) -> bool:
         """Split-invariance of the encodings; see ``GraphHDClassifier``."""
         return self.config.centrality != "random"
+
+    @property
+    def encoding_store_token(self) -> dict | None:
+        """Persistent-store identity of the encoding function; see ``GraphHDClassifier``."""
+        if self.config.seed is None or not self.encoding_cache_safe:
+            return None
+        return {
+            "encoder": type(self.encoder).__name__,
+            "config": dataclasses.asdict(self.config),
+        }
 
     def _cluster_class(
         self, encodings: np.ndarray, rng: np.random.Generator

@@ -164,6 +164,26 @@ class GraphHDClassifier:
         """
         return self.config.centrality != "random"
 
+    @property
+    def encoding_store_token(self) -> dict | None:
+        """Stable identity of the encoding function, for the persistent store.
+
+        The token, combined with a dataset fingerprint, keys the on-disk
+        encoding cache (:mod:`repro.eval.encoding_store`): it covers the
+        encoder class and the full configuration, so any change that alters
+        encodings (dimension, seed, centrality, backend, ...) changes the
+        key.  None — vetoing persistence — when encodings are not
+        reproducible across processes: unseeded configurations draw a fresh
+        basis per process, and the ``"random"`` centrality ablation consumes
+        a random stream per encoded batch.
+        """
+        if self.config.seed is None or not self.encoding_cache_safe:
+            return None
+        return {
+            "encoder": type(self.encoder).__name__,
+            "config": asdict(self.config),
+        }
+
     def encode(self, graphs: Sequence[Graph]) -> np.ndarray:
         """Encode graphs with the trained encoder (exposed for inspection/tests)."""
         return self.encoder.encode_many(list(graphs))

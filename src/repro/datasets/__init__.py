@@ -8,7 +8,7 @@ Table I statistics with a class-dependent structural signal, while
 so the harness runs unmodified on the original files when they are available.
 """
 
-from repro.datasets.dataset import GraphDataset
+from repro.datasets.dataset import GraphDataset, graphs_fingerprint
 from repro.datasets.splits import StratifiedKFold, train_test_split
 from repro.datasets.synthetic import (
     DATASET_SPECS,
@@ -21,6 +21,7 @@ from repro.datasets.registry import available_datasets, load_dataset
 
 __all__ = [
     "GraphDataset",
+    "graphs_fingerprint",
     "StratifiedKFold",
     "train_test_split",
     "SyntheticDatasetSpec",

@@ -2,12 +2,45 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.properties import GraphStatistics, dataset_statistics
+
+
+def graphs_fingerprint(graphs: Sequence[Graph]) -> str:
+    """Stable content hash of a sequence of graphs.
+
+    The fingerprint covers everything an encoder can read — vertex counts,
+    the cached edge arrays (in their stored order), graph labels and any
+    vertex/edge labels — so two graph sequences share a fingerprint exactly
+    when every encoder produces identical encodings for both.  It is stable
+    across processes and interpreter runs (no ``hash()`` randomization),
+    which makes it usable as part of a persistent cache key; see
+    :mod:`repro.eval.encoding_store`.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-graphs-fingerprint-v1")
+    digest.update(len(graphs).to_bytes(8, "little"))
+    for graph in graphs:
+        digest.update(b"G")
+        digest.update(int(graph.num_vertices).to_bytes(8, "little"))
+        sources, targets = graph.edge_arrays()
+        digest.update(np.ascontiguousarray(sources, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(targets, dtype=np.int64).tobytes())
+        digest.update(repr(graph.graph_label).encode("utf-8"))
+        if graph.vertex_labels is not None:
+            digest.update(b"V")
+            digest.update(repr(list(graph.vertex_labels)).encode("utf-8"))
+        if graph.edge_labels:
+            digest.update(b"E")
+            digest.update(
+                repr(sorted(graph.edge_labels.items())).encode("utf-8")
+            )
+    return digest.hexdigest()
 
 
 class GraphDataset:
@@ -75,6 +108,18 @@ class GraphDataset:
     def statistics(self) -> GraphStatistics:
         """Table I statistics of this dataset."""
         return dataset_statistics(self.name, self.graphs)
+
+    def fingerprint(self) -> str:
+        """Content hash of the graphs (see :func:`graphs_fingerprint`).
+
+        Computed once and cached; datasets are treated as immutable after
+        construction everywhere in the library.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is None:
+            cached = graphs_fingerprint(self.graphs)
+            self._fingerprint_cache = cached
+        return cached
 
     def shuffled(self, rng: int | np.random.Generator | None = None) -> "GraphDataset":
         """A copy of the dataset with graphs in a random order."""

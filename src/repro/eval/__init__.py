@@ -12,11 +12,18 @@ This subpackage implements the paper's experimental protocol:
 * :mod:`repro.eval.scaling` — the Erdős–Rényi graph-size sweep of Figure 4;
 * :mod:`repro.eval.robustness` — accuracy under corrupted model memory (the
   paper's holographic-robustness claim, quantified);
+* :mod:`repro.eval.parallel` — the deterministic process-pool executor every
+  harness fans out over (``n_jobs`` / ``REPRO_N_JOBS``), with bit-identical
+  results for every worker count;
+* :mod:`repro.eval.encoding_store` — the persistent on-disk encoding cache
+  shared across folds, processes and runs;
 * :mod:`repro.eval.reporting` — plain-text rendering of tables and series.
 """
 
 from repro.eval.metrics import accuracy_score, confusion_matrix, per_class_accuracy
 from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
+from repro.eval.parallel import resolve_n_jobs, run_tasks
 from repro.eval.methods import METHOD_NAMES, make_method
 from repro.eval.comparison import ComparisonResult, compare_methods
 from repro.eval.scaling import ScalingPoint, scaling_experiment
@@ -35,6 +42,10 @@ __all__ = [
     "FoldResult",
     "CrossValidationResult",
     "cross_validate",
+    "EncodingStore",
+    "dataset_encodings",
+    "resolve_n_jobs",
+    "run_tasks",
     "METHOD_NAMES",
     "make_method",
     "ComparisonResult",

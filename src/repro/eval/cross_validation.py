@@ -4,6 +4,14 @@ The paper's protocol (Section V-A): 10-fold cross-validation, repeated 3
 times; the reported training time is the wall-time of training one fold and
 the inference time is the testing wall-time of one fold divided by the number
 of test graphs (time per graph).
+
+The folds x repetitions grid is embarrassingly parallel: every fold trains a
+fresh model on a precomputed split.  ``cross_validate`` therefore plans all
+splits (and the dataset encoding, when cached) up front in the parent
+process and fans the folds out over :func:`repro.eval.parallel.run_tasks` —
+results are bit-identical to the serial loop for every ``n_jobs``, because
+each fold is a pure function of the plan and results are collected in plan
+order.
 """
 
 from __future__ import annotations
@@ -16,12 +24,19 @@ import numpy as np
 
 from repro.datasets.dataset import GraphDataset
 from repro.datasets.splits import StratifiedKFold
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.metrics import accuracy_score
+from repro.eval.parallel import run_tasks
 
 
 @dataclass
 class FoldResult:
-    """Result of training and testing on a single fold."""
+    """Result of training and testing on a single fold.
+
+    ``test_indices`` records the fold assignment (which dataset indices were
+    held out), so the serial<->parallel equivalence suite can assert that
+    parallel dispatch evaluates exactly the same splits.
+    """
 
     fold: int
     repetition: int
@@ -30,6 +45,7 @@ class FoldResult:
     test_seconds: float
     num_train_graphs: int
     num_test_graphs: int
+    test_indices: tuple[int, ...] = ()
 
     @property
     def inference_seconds_per_graph(self) -> float:
@@ -48,6 +64,17 @@ class CrossValidationResult:
     per-fold ``train_seconds``/``test_seconds`` then measure the pure
     class-vector accumulation and similarity-search inference.  Without the
     cache both per-fold timings include encoding, as in the paper's protocol.
+
+    ``base_seed`` is the seed every fold seed was derived from: the ``seed``
+    argument when one was given, otherwise the one seed drawn up front for
+    the whole run — re-running with ``seed=result.base_seed`` reproduces the
+    folds exactly.  ``encoding_store_hit`` records whether the cached
+    encodings came from a persistent :class:`EncodingStore` entry instead of
+    being computed.  With a store, ``encoding_seconds`` measures the actual
+    one-off cost paid to *obtain* the encodings — a store load on a hit, or
+    encode plus fingerprint-and-persist on a miss — so it is the honest
+    end-to-end number for that run, but a cold-store figure is not directly
+    comparable to a store-less encode time.
     """
 
     method: str
@@ -55,6 +82,8 @@ class CrossValidationResult:
     folds: list[FoldResult] = field(default_factory=list)
     encoding_cached: bool = False
     encoding_seconds: float = 0.0
+    base_seed: int | None = None
+    encoding_store_hit: bool = False
 
     @property
     def mean_accuracy(self) -> float:
@@ -93,6 +122,8 @@ class CrossValidationResult:
             "folds": len(self.folds),
             "encoding_cached": self.encoding_cached,
             "encoding_seconds": self.encoding_seconds,
+            "base_seed": self.base_seed,
+            "encoding_store_hit": self.encoding_store_hit,
         }
 
 
@@ -116,6 +147,20 @@ def supports_encoding_cache(model: object) -> bool:
     return bool(getattr(model, "encoding_cache_safe", True))
 
 
+def resolve_base_seed(seed: int | None) -> int:
+    """The one base seed an evaluation run derives every per-task seed from.
+
+    A ``None`` seed draws a single random base seed *up front*; all fold and
+    repetition seeds then derive from it deterministically, so a seedless run
+    is still internally consistent — parallel dispatch evaluates exactly the
+    folds the serial loop would, and the drawn seed can be recorded (e.g. as
+    ``CrossValidationResult.base_seed``) to reproduce the run later.
+    """
+    if seed is None:
+        return int(np.random.default_rng().integers(0, 2**31 - 1))
+    return int(seed)
+
+
 def cross_validate(
     method_factory: Callable[[], object],
     dataset: GraphDataset,
@@ -126,6 +171,8 @@ def cross_validate(
     max_folds_per_repetition: int | None = None,
     seed: int | None = 0,
     encoding_cache: bool = True,
+    n_jobs: int | None = None,
+    encoding_store: EncodingStore | None = None,
 ) -> CrossValidationResult:
     """Run repeated stratified K-fold cross-validation for one method.
 
@@ -146,7 +193,9 @@ def cross_validate(
         used by the CI-sized benchmark configuration to bound runtime while
         preserving the protocol.
     seed:
-        Base seed; repetition ``r`` uses ``seed + r`` for its shuffle.
+        Base seed; repetition ``r`` uses ``base_seed + r`` for its shuffle,
+        where ``base_seed`` is ``seed``, or one seed drawn up front when
+        ``seed`` is None (see :func:`resolve_base_seed`).
     encoding_cache:
         Encode the dataset once up front and train/test every fold from the
         cached encodings, for methods that support it (see
@@ -158,25 +207,53 @@ def cross_validate(
         ``CrossValidationResult.encoding_seconds``.  Disable to reproduce
         the paper's timing protocol, where every fold's training time
         includes encoding.
+    n_jobs:
+        Worker processes the folds fan out over (None: the ``REPRO_N_JOBS``
+        environment variable, default 1; zero/negative: all cores).
+        Accuracies and fold assignments are bit-identical for every value;
+        only wall-clock changes.
+    encoding_store:
+        Optional persistent on-disk encoding store; when the encoding cache
+        is active, the dataset encodings are loaded from (or saved to) the
+        store so later runs and sibling processes skip re-encoding.  Models
+        that veto the in-memory cache veto the store as well.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
     labels = dataset.labels
     graphs = dataset.graphs
-    result = CrossValidationResult(method=method_name, dataset=dataset.name)
+    base_seed = resolve_base_seed(seed)
+    result = CrossValidationResult(
+        method=method_name, dataset=dataset.name, base_seed=base_seed
+    )
 
+    # Encode in the parent, before any workers fork: every fold task then
+    # shares the one encoding matrix copy-on-write instead of re-pickling it.
     encodings = None
     if encoding_cache:
         probe = method_factory()
         if supports_encoding_cache(probe):
             encode_start = time.perf_counter()
-            encodings = probe.encode(graphs)
+            encodings, from_store = dataset_encodings(
+                probe,
+                graphs,
+                encoding_store,
+                fingerprint=(
+                    dataset.fingerprint() if encoding_store is not None else None
+                ),
+            )
             result.encoding_seconds = time.perf_counter() - encode_start
             result.encoding_cached = True
+            result.encoding_store_hit = from_store
 
+    # Plan every fold up front (consuming the split RNGs serially in the
+    # parent), so each fold task is a pure function of the plan and the
+    # results cannot depend on worker count or scheduling order.
+    plan: list[tuple[int, int, np.ndarray, np.ndarray]] = []
     for repetition in range(repetitions):
-        fold_seed = None if seed is None else seed + repetition
-        splitter = StratifiedKFold(n_splits, shuffle=True, seed=fold_seed)
+        splitter = StratifiedKFold(
+            n_splits, shuffle=True, seed=base_seed + repetition
+        )
         for fold_index, (train_indices, test_indices) in enumerate(
             splitter.split(labels)
         ):
@@ -185,42 +262,49 @@ def cross_validate(
                 and fold_index >= max_folds_per_repetition
             ):
                 break
-            train_labels = [labels[index] for index in train_indices]
-            test_labels = [labels[index] for index in test_indices]
+            plan.append((repetition, fold_index, train_indices, test_indices))
 
-            model = method_factory()
-            if encodings is not None:
-                train_encodings = encodings[np.asarray(train_indices)]
-                test_encodings = encodings[np.asarray(test_indices)]
+    def run_fold(task: tuple[int, int, np.ndarray, np.ndarray]) -> FoldResult:
+        repetition, fold_index, train_indices, test_indices = task
+        train_labels = [labels[index] for index in train_indices]
+        test_labels = [labels[index] for index in test_indices]
 
-                train_start = time.perf_counter()
-                model.fit_encoded(train_encodings, train_labels)
-                train_seconds = time.perf_counter() - train_start
+        model = method_factory()
+        if encodings is not None:
+            train_encodings = encodings[np.asarray(train_indices)]
+            test_encodings = encodings[np.asarray(test_indices)]
 
-                test_start = time.perf_counter()
-                predictions = model.predict_encoded(test_encodings)
-                test_seconds = time.perf_counter() - test_start
-            else:
-                train_graphs = [graphs[index] for index in train_indices]
-                test_graphs = [graphs[index] for index in test_indices]
+            train_start = time.perf_counter()
+            model.fit_encoded(train_encodings, train_labels)
+            train_seconds = time.perf_counter() - train_start
 
-                train_start = time.perf_counter()
-                model.fit(train_graphs, train_labels)
-                train_seconds = time.perf_counter() - train_start
+            test_start = time.perf_counter()
+            predictions = model.predict_encoded(test_encodings)
+            test_seconds = time.perf_counter() - test_start
+        else:
+            train_graphs = [graphs[index] for index in train_indices]
+            test_graphs = [graphs[index] for index in test_indices]
 
-                test_start = time.perf_counter()
-                predictions = model.predict(test_graphs)
-                test_seconds = time.perf_counter() - test_start
+            train_start = time.perf_counter()
+            model.fit(train_graphs, train_labels)
+            train_seconds = time.perf_counter() - train_start
 
-            result.folds.append(
-                FoldResult(
-                    fold=fold_index,
-                    repetition=repetition,
-                    accuracy=accuracy_score(test_labels, predictions),
-                    train_seconds=train_seconds,
-                    test_seconds=test_seconds,
-                    num_train_graphs=len(train_indices),
-                    num_test_graphs=len(test_indices),
-                )
-            )
+            test_start = time.perf_counter()
+            predictions = model.predict(test_graphs)
+            test_seconds = time.perf_counter() - test_start
+
+        return FoldResult(
+            fold=fold_index,
+            repetition=repetition,
+            accuracy=accuracy_score(test_labels, predictions),
+            train_seconds=train_seconds,
+            test_seconds=test_seconds,
+            num_train_graphs=len(train_indices),
+            num_test_graphs=len(test_indices),
+            test_indices=tuple(int(index) for index in test_indices),
+        )
+
+    result.folds = run_tasks(
+        [lambda task=task: run_fold(task) for task in plan], n_jobs=n_jobs
+    )
     return result

@@ -1,0 +1,223 @@
+"""Persistent on-disk store of dataset encodings.
+
+Repeated experiment sweeps — ablations, dimension sweeps, method grids —
+re-encode the same datasets with the same encoder configurations over and
+over, across processes and across runs.  The :class:`EncodingStore` spills
+each ``(encoder config, backend, dataset)`` encoding matrix to a directory of
+``.npz`` entries so any later run (or any worker process) can load it back
+instead of re-encoding.
+
+Cache keys and safety
+---------------------
+An entry's key is the SHA-256 of a canonical JSON document combining
+
+* the **store format version** (bump :data:`STORE_VERSION` to invalidate
+  every existing entry at once),
+* the model's **encoding-store token** — a stable description of the
+  encoding function (encoder class, full config including dimension, seed,
+  centrality and backend), exposed as the model's ``encoding_store_token``
+  property, and
+* the **dataset fingerprint** — a content hash of the graphs
+  (:func:`repro.datasets.dataset.graphs_fingerprint`).
+
+Changing any of these (different dimension, different backend, different
+graphs, new store version) changes the key, so stale entries are never
+returned — they are simply unreachable and can be dropped with
+:meth:`EncodingStore.clear`.
+
+A model vetoes persistent caching by exposing no token (``None``): GraphHD
+does so for the ``"random"`` vertex-identifier ablation, whose encodings
+consume a random stream per encoded batch, and for unseeded configurations
+(``seed=None``), whose basis differs per process.  :func:`dataset_encodings`
+then falls back to encoding in memory, exactly like the store-less path.
+
+Concurrency
+-----------
+Writes are atomic: entries are serialized to a temporary file in the store
+directory and published with :func:`os.replace`, so two processes racing on
+the same store path both succeed and readers only ever observe complete
+entries.  Corrupted or truncated entries (e.g. from a killed process using an
+older, non-atomic writer) are detected on load, deleted, and treated as a
+miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import graphs_fingerprint
+from repro.graphs.graph import Graph
+
+#: On-disk format version; part of every cache key, so bumping it invalidates
+#: every existing entry (versioned invalidation).
+STORE_VERSION = 1
+
+
+class EncodingStore:
+    """A directory of persistently cached dataset-encoding matrices.
+
+    Parameters
+    ----------
+    path:
+        Store directory; created on first write if missing.
+    version:
+        Store format version mixed into every key; defaults to
+        :data:`STORE_VERSION`.  Exposed for the invalidation tests.
+    """
+
+    def __init__(self, path, *, version: int = STORE_VERSION) -> None:
+        self.path = os.fspath(path)
+        self.version = int(version)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ----------------------------------------------------------------- keys
+    def key(self, token: dict, fingerprint: str) -> str:
+        """Cache key of one (encoding function, dataset) combination."""
+        material = json.dumps(
+            {
+                "store_version": self.version,
+                "model": token,
+                "dataset": fingerprint,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.npz")
+
+    # ---------------------------------------------------------------- access
+    def load(self, key: str) -> np.ndarray | None:
+        """The encodings stored under ``key``, or None on a miss.
+
+        An unreadable entry (corrupted file, wrong embedded version) is
+        removed and reported as a miss so the caller re-encodes and the next
+        :meth:`save` replaces it with a good one.
+        """
+        path = self._entry_path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["store_version"]) != self.version:
+                    raise ValueError("store version mismatch")
+                encodings = np.array(data["encodings"], copy=True)
+        except Exception:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return encodings
+
+    def save(self, key: str, encodings: np.ndarray) -> None:
+        """Atomically persist ``encodings`` under ``key``.
+
+        The entry is written to a temporary file in the store directory and
+        published with an atomic rename, so concurrent writers cannot leave a
+        partially written entry behind (the last writer wins, and both write
+        identical bytes for the same key anyway).
+        """
+        os.makedirs(self.path, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.path, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    store_version=np.int64(self.version),
+                    encodings=np.asarray(encodings),
+                )
+            os.replace(temp_path, self._entry_path(key))
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    # ------------------------------------------------------------ maintenance
+    def entries(self) -> list[str]:
+        """Keys of every complete entry currently in the store directory."""
+        if not os.path.isdir(self.path):
+            return []
+        return sorted(
+            name[: -len(".npz")]
+            for name in os.listdir(self.path)
+            if name.endswith(".npz") and not name.startswith(".tmp-")
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temporary file); returns the count removed."""
+        removed = 0
+        if not os.path.isdir(self.path):
+            return removed
+        for name in os.listdir(self.path):
+            if name.endswith(".npz"):
+                try:
+                    os.remove(os.path.join(self.path, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss/write counters of this store handle, plus the entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "entries": len(self),
+        }
+
+
+def dataset_encodings(
+    model,
+    graphs: Sequence[Graph],
+    store: EncodingStore | None = None,
+    *,
+    fingerprint: str | None = None,
+) -> tuple[np.ndarray, bool]:
+    """Encode ``graphs`` with ``model``, through the persistent store when possible.
+
+    Returns ``(encodings, from_store)``.  The store is consulted only when it
+    is given *and* the model publishes an ``encoding_store_token`` (models
+    whose encodings are not reproducible across processes — the random
+    centrality ablation, unseeded configs — publish None and always encode in
+    memory).  On a miss the freshly computed encodings are persisted before
+    returning, so the next process or run hits.
+
+    ``fingerprint`` lets callers holding a :class:`GraphDataset` pass its
+    memoized ``dataset.fingerprint()`` instead of re-hashing the graphs here.
+    """
+    graphs = list(graphs)
+    token = getattr(model, "encoding_store_token", None)
+    if store is None or token is None:
+        return model.encode(graphs), False
+    if fingerprint is None:
+        fingerprint = graphs_fingerprint(graphs)
+    key = store.key(token, fingerprint)
+    cached = store.load(key)
+    if cached is not None:
+        return cached, True
+    encodings = model.encode(graphs)
+    store.save(key, np.asarray(encodings))
+    return encodings, False

@@ -1,0 +1,143 @@
+"""Deterministic process-pool execution for the evaluation harness.
+
+The evaluation protocol is embarrassingly parallel at three levels — folds x
+repetitions inside :func:`repro.eval.cross_validation.cross_validate`, the
+(dataset, method) grid in :func:`repro.eval.comparison.compare_methods`, and
+the sweep points of the scaling and robustness experiments.  This module
+provides the one execution primitive they all share: :func:`run_tasks` fans a
+list of zero-argument callables out over a pool of worker processes and
+returns their results **in task order**.
+
+Determinism is structural, not incidental:
+
+* Every task must be a *pure function* of state captured before the pool is
+  created — the callers precompute fold splits, per-task seeds and cached
+  encodings up front, so a task's result cannot depend on which worker runs
+  it or in which order tasks are scheduled.
+* Results are collected by task index (``Pool.map`` over ``range(len(tasks))``),
+  so the output order equals the serial iteration order.
+
+Together these make ``n_jobs > 1`` produce **bit-identical** results to the
+serial path (``n_jobs=1`` short-circuits to a plain loop), which the
+``tests/eval/test_parallel_equivalence.py`` suite locks down.  The one
+exception, by nature: wall-clock *timing* fields inside results are measured
+where the task runs, so under ``n_jobs > 1`` they reflect workers contending
+for cores — use ``n_jobs=1`` when the timings themselves are the experiment
+(the paper's Figure 3/4 protocols).
+
+Workers are started with the ``fork`` start method and read their tasks from
+a module-level list inherited at fork time.  This means closures (method
+factories, fold index arrays) and large cached encoding matrices are shared
+with the workers copy-on-write instead of being pickled per task; only the
+small per-fold result objects travel back over the pipe.  On platforms
+without ``fork`` (or inside a daemonic worker, where nesting pools is not
+allowed) execution silently degrades to the serial loop — same results,
+no parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Environment variable consulted when ``n_jobs`` is not given explicitly.
+ENV_N_JOBS = "REPRO_N_JOBS"
+
+#: Task list read by forked workers; set only for the lifetime of one pool.
+_TASKS: Sequence[Callable[[], object]] | None = None
+
+#: Whether the serial-degradation warning has been emitted already.
+_WARNED_SERIAL_FALLBACK = False
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Effective worker count for the evaluation harness.
+
+    ``None`` falls back to the ``REPRO_N_JOBS`` environment variable, and to
+    ``1`` (serial) when that is unset or empty.  Zero or negative values —
+    from either source — mean "all usable cores" (respecting CPU affinity
+    and cgroup limits, not the host's raw core count).
+    """
+    if n_jobs is None:
+        raw = os.environ.get(ENV_N_JOBS, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_N_JOBS} must be an integer, got {raw!r}"
+            ) from None
+    if n_jobs <= 0:
+        return usable_cores()
+    return int(n_jobs)
+
+
+def parallelism_available() -> bool:
+    """Whether a worker pool can actually be started here.
+
+    False inside a daemonic pool worker (pools cannot nest) and on platforms
+    without the ``fork`` start method, which the task-inheritance scheme
+    relies on; callers then run their tasks serially with identical results.
+    """
+    if multiprocessing.current_process().daemon:
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_task(index: int):
+    return _TASKS[index]()
+
+
+def run_tasks(
+    tasks: Iterable[Callable[[], T]], n_jobs: int | None = None
+) -> list[T]:
+    """Run zero-argument callables, returning their results in task order.
+
+    Tasks must be pure functions of pre-pool state (see the module docstring);
+    under that contract the returned list is bit-identical for every worker
+    count.  An exception raised by any task propagates to the caller.
+    """
+    tasks = list(tasks)
+    jobs = min(resolve_n_jobs(n_jobs), len(tasks))
+    if jobs <= 1 or not parallelism_available():
+        global _WARNED_SERIAL_FALLBACK
+        if (
+            jobs > 1
+            and not multiprocessing.current_process().daemon
+            and not _WARNED_SERIAL_FALLBACK
+        ):
+            # An explicit parallel request cannot be honored on this platform
+            # (no fork start method); say so once instead of silently timing
+            # a "parallel" run on one core.
+            _WARNED_SERIAL_FALLBACK = True
+            warnings.warn(
+                f"n_jobs={jobs} requested but process-pool parallelism is "
+                "unavailable on this platform (no 'fork' start method); "
+                "running serially with identical results",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return [task() for task in tasks]
+
+    global _TASKS
+    previous = _TASKS
+    _TASKS = tasks
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=jobs) as pool:
+            return pool.map(_run_task, range(len(tasks)))
+    finally:
+        _TASKS = previous

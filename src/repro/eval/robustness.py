@@ -14,13 +14,16 @@ weights (which is not holographic and degrades much faster).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.model import GraphHDClassifier
 from repro.eval.cross_validation import supports_encoding_cache
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.metrics import accuracy_score
+from repro.eval.parallel import run_tasks
 from repro.graphs.graph import Graph
 
 
@@ -100,6 +103,8 @@ def graphhd_robustness_curve(
     repetitions: int = 3,
     seed: int | None = 0,
     encoding_cache: bool = True,
+    n_jobs: int | None = None,
+    encoding_store: EncodingStore | None = None,
 ) -> RobustnessCurve:
     """Measure GraphHD accuracy while corrupting its class hypervectors.
 
@@ -116,38 +121,65 @@ def graphhd_robustness_curve(
         Encode the train/test graphs once and refit every corruption draw
         from the cached encodings (corruption only touches the trained class
         vectors, so the curve is identical); disable to re-encode per draw.
+    n_jobs:
+        Worker processes the (fraction, draw) grid fans out over (None: the
+        ``REPRO_N_JOBS`` environment variable, default 1).  Every draw
+        corrupts with its own deterministically derived RNG, so the curve is
+        bit-identical to the serial loop for every worker count.
+    encoding_store:
+        Optional persistent encoding store for the cached train/test
+        encodings (ignored when the model vetoes caching).
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
     fractions = sorted(set(float(fraction) for fraction in corruption_fractions))
     curve = RobustnessCurve(model_name="GraphHD")
-    rng = np.random.default_rng(seed)
 
     train_encodings = test_encodings = None
     if encoding_cache:
         probe = model_factory()
         if supports_encoding_cache(probe):
-            train_encodings = probe.encode(list(train_graphs))
-            test_encodings = probe.encode(list(test_graphs))
+            train_encodings, _ = dataset_encodings(
+                probe, list(train_graphs), encoding_store
+            )
+            test_encodings, _ = dataset_encodings(
+                probe, list(test_graphs), encoding_store
+            )
 
-    for fraction in fractions:
-        accuracies = []
-        draws = 1 if fraction == 0.0 else repetitions
+    # One independent child seed per (fraction, draw), derived up front from
+    # the base seed: each draw is then a pure task (fresh model, own
+    # corruption RNG) and the curve does not depend on worker count or
+    # scheduling order.
+    draws_per_fraction = [1 if fraction == 0.0 else repetitions for fraction in fractions]
+    children = np.random.SeedSequence(seed).spawn(int(sum(draws_per_fraction)))
+
+    def run_draw(fraction: float, child: np.random.SeedSequence) -> float:
+        model = model_factory()
+        if train_encodings is not None:
+            model.fit_encoded(train_encodings, list(train_labels))
+        else:
+            model.fit(list(train_graphs), list(train_labels))
+        corrupt_class_vectors(model, fraction, rng=np.random.default_rng(child))
+        if test_encodings is not None:
+            predictions = model.predict_encoded(test_encodings)
+        else:
+            predictions = model.predict(list(test_graphs))
+        return accuracy_score(list(test_labels), predictions)
+
+    tasks = []
+    child_iter = iter(children)
+    for fraction, draws in zip(fractions, draws_per_fraction):
         for _ in range(draws):
-            model = model_factory()
-            if train_encodings is not None:
-                model.fit_encoded(train_encodings, list(train_labels))
-            else:
-                model.fit(list(train_graphs), list(train_labels))
-            corrupt_class_vectors(model, fraction, rng=rng)
-            if test_encodings is not None:
-                predictions = model.predict_encoded(test_encodings)
-            else:
-                predictions = model.predict(list(test_graphs))
-            accuracies.append(accuracy_score(list(test_labels), predictions))
+            tasks.append(partial(run_draw, fraction, next(child_iter)))
+    accuracies = run_tasks(tasks, n_jobs=n_jobs)
+
+    cursor = 0
+    for fraction, draws in zip(fractions, draws_per_fraction):
+        draw_accuracies = accuracies[cursor : cursor + draws]
+        cursor += draws
         curve.points.append(
             RobustnessPoint(
-                corruption_fraction=fraction, accuracy=float(np.mean(accuracies))
+                corruption_fraction=fraction, accuracy=float(np.mean(draw_accuracies))
             )
         )
     return curve

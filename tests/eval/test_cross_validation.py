@@ -106,6 +106,8 @@ class TestCrossValidate:
             created.append(model)
             return model
 
+        # n_jobs=1 pinned: the factory-call count is observed in-process,
+        # which only works on the serial path (workers get their own copies).
         cross_validate(
             counting_factory,
             two_class_dataset,
@@ -113,6 +115,7 @@ class TestCrossValidate:
             repetitions=1,
             seed=0,
             encoding_cache=False,
+            n_jobs=1,
         )
         assert len(created) == 5
         assert len({id(model) for model in created}) == 5
@@ -126,11 +129,80 @@ class TestCrossValidate:
             return model
 
         cross_validate(
-            counting_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+            counting_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+            n_jobs=1,
         )
         # One probe model encodes the dataset, then one fresh model per fold.
         assert len(created) == 6
         assert len({id(model) for model in created}) == 6
+
+
+class TestSeedHandling:
+    def test_base_seed_records_explicit_seed(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=1, seed=42
+        )
+        assert result.base_seed == 42
+        assert result.summary()["base_seed"] == 42
+
+    def test_seed_none_draws_one_base_seed_up_front(self, two_class_dataset):
+        # Regression: seed=None used to hand every repetition an unseeded
+        # splitter, making the run unrecordable and parallel dispatch
+        # non-reproducible.  It now draws one base seed up front; re-running
+        # with that recorded seed reproduces the folds exactly.
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=2, seed=None
+        )
+        assert result.base_seed is not None
+        replay = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=5,
+            repetitions=2,
+            seed=result.base_seed,
+        )
+        assert [fold.accuracy for fold in result.folds] == [
+            fold.accuracy for fold in replay.folds
+        ]
+        assert [fold.test_indices for fold in result.folds] == [
+            fold.test_indices for fold in replay.folds
+        ]
+
+    def test_seed_none_parallel_matches_recorded_replay(self, two_class_dataset):
+        # The same property through the parallel path: a seedless parallel
+        # run is internally consistent and reproducible from its base seed.
+        result = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=None,
+            n_jobs=2,
+        )
+        replay = cross_validate(
+            graphhd_factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=result.base_seed,
+            n_jobs=1,
+        )
+        assert [fold.accuracy for fold in result.folds] == [
+            fold.accuracy for fold in replay.folds
+        ]
+
+    def test_fold_results_record_assignments(self, two_class_dataset):
+        result = cross_validate(
+            graphhd_factory, two_class_dataset, n_splits=5, repetitions=1, seed=0
+        )
+        covered = sorted(
+            index for fold in result.folds for index in fold.test_indices
+        )
+        assert covered == list(range(len(two_class_dataset)))
 
 
 class TestEncodingCache:

@@ -1,0 +1,216 @@
+"""Tests for the persistent on-disk encoding store.
+
+Covers the key contract (same configuration hits, any relevant change
+misses), versioned invalidation, corrupted-entry recovery, and atomicity
+under two processes racing on one store path.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.datasets.dataset import GraphDataset, graphs_fingerprint
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
+
+DIMENSION = 256
+
+
+def make_model(**overrides):
+    config = dict(dimension=DIMENSION, seed=0, backend="dense")
+    config.update(overrides)
+    return GraphHDClassifier(GraphHDConfig(**config))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return EncodingStore(tmp_path / "store")
+
+
+class TestFingerprint:
+    def test_stable_across_equal_content(self, two_class_dataset):
+        copy = GraphDataset(two_class_dataset.name, list(two_class_dataset.graphs))
+        assert two_class_dataset.fingerprint() == copy.fingerprint()
+        assert graphs_fingerprint(two_class_dataset.graphs) == (
+            two_class_dataset.fingerprint()
+        )
+
+    def test_sensitive_to_graph_subset_and_order(self, two_class_dataset):
+        graphs = two_class_dataset.graphs
+        assert graphs_fingerprint(graphs) != graphs_fingerprint(graphs[:-1])
+        assert graphs_fingerprint(graphs) != graphs_fingerprint(graphs[::-1])
+
+    def test_fingerprint_cached_on_dataset(self, two_class_dataset):
+        first = two_class_dataset.fingerprint()
+        assert two_class_dataset.fingerprint() is first
+
+
+class TestCacheKeys:
+    def test_same_configuration_hits(self, store, two_class_dataset):
+        first, hit_first = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        second, hit_second = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        assert not hit_first and hit_second
+        assert np.array_equal(first, second)
+        assert store.stats["hits"] == 1
+        assert len(store) == 1
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"dimension": 2 * DIMENSION},
+            {"backend": "packed"},
+            {"centrality": "degree"},
+            {"seed": 1},
+            {"pagerank_iterations": 3},
+        ],
+    )
+    def test_changed_configuration_misses(self, store, two_class_dataset, overrides):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        _, hit = dataset_encodings(
+            make_model(**overrides), two_class_dataset.graphs, store
+        )
+        assert not hit
+        assert len(store) == 2
+
+    def test_changed_dataset_misses(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        _, hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs[:-2], store
+        )
+        assert not hit
+
+    def test_store_version_invalidates(self, tmp_path, two_class_dataset):
+        path = tmp_path / "store"
+        old = EncodingStore(path, version=1)
+        dataset_encodings(make_model(), two_class_dataset.graphs, old)
+        new = EncodingStore(path, version=2)
+        _, hit = dataset_encodings(make_model(), two_class_dataset.graphs, new)
+        assert not hit
+
+    def test_embedded_version_checked_on_load(self, tmp_path, two_class_dataset):
+        # Even if a key collision handed a new-version store an old entry,
+        # the version embedded in the entry itself rejects (and removes) it.
+        path = tmp_path / "store"
+        old = EncodingStore(path, version=1)
+        model = make_model()
+        key = old.key(
+            model.encoding_store_token, graphs_fingerprint(two_class_dataset.graphs)
+        )
+        old.save(key, model.encode(two_class_dataset.graphs))
+        new = EncodingStore(path, version=2)
+        assert new.load(key) is None
+        assert len(new) == 0
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_roundtrip_is_exact(self, store, two_class_dataset, backend):
+        model = make_model(backend=backend)
+        encoded, _ = dataset_encodings(model, two_class_dataset.graphs, store)
+        cached, hit = dataset_encodings(
+            make_model(backend=backend), two_class_dataset.graphs, store
+        )
+        assert hit
+        assert cached.dtype == encoded.dtype
+        assert np.array_equal(cached, encoded)
+
+
+class TestVetoes:
+    def test_random_centrality_has_no_token(self):
+        assert make_model(centrality="random").encoding_store_token is None
+
+    def test_unseeded_config_has_no_token(self):
+        assert make_model(seed=None).encoding_store_token is None
+
+    def test_vetoing_model_bypasses_store(self, store, two_class_dataset):
+        model = make_model(seed=None)
+        encodings, hit = dataset_encodings(model, two_class_dataset.graphs, store)
+        assert not hit
+        assert encodings.shape[0] == len(two_class_dataset.graphs)
+        assert len(store) == 0
+
+    def test_no_store_encodes_in_memory(self, two_class_dataset):
+        encodings, hit = dataset_encodings(make_model(), two_class_dataset.graphs, None)
+        assert not hit
+        assert encodings.shape == (len(two_class_dataset.graphs), DIMENSION)
+
+
+class TestRecoveryAndMaintenance:
+    def test_corrupted_entry_recovers(self, store, two_class_dataset):
+        model = make_model()
+        original, _ = dataset_encodings(model, two_class_dataset.graphs, store)
+        [key] = store.entries()
+        with open(store._entry_path(key), "wb") as handle:
+            handle.write(b"not an npz archive")
+        recovered, hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        assert not hit  # corrupted entry was dropped and re-encoded...
+        assert np.array_equal(recovered, original)
+        reread, hit = dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        assert hit  # ...and the store healed itself.
+        assert np.array_equal(reread, original)
+
+    def test_truncated_entry_recovers(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        [key] = store.entries()
+        path = store._entry_path(key)
+        payload = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        assert store.load(key) is None
+        assert not os.path.exists(path)
+
+    def test_clear_removes_entries(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        dataset_encodings(
+            make_model(backend="packed"), two_class_dataset.graphs, store
+        )
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.clear() == 0
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        store = EncodingStore(tmp_path / "never-created")
+        assert store.clear() == 0
+        assert store.entries() == []
+
+
+def _racing_writer(path, key, dimension, barrier):
+    store = EncodingStore(path)
+    payload = np.full((64, dimension), 7, dtype=np.int8)
+    barrier.wait()
+    for _ in range(20):
+        store.save(key, payload)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_on_one_store(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        context = multiprocessing.get_context("fork")
+        path = str(tmp_path / "store")
+        key = "deadbeef" * 8
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_racing_writer, args=(path, key, DIMENSION, barrier)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        store = EncodingStore(path)
+        loaded = store.load(key)
+        assert loaded is not None  # readers only ever see complete entries
+        assert np.array_equal(loaded, np.full((64, DIMENSION), 7, dtype=np.int8))
+        assert store.entries() == [key]  # no stray temp files promoted

@@ -1,0 +1,300 @@
+"""Serial <-> parallel equivalence suite for the evaluation harness.
+
+The contract of :mod:`repro.eval.parallel` is that ``n_jobs`` changes
+wall-clock only: every harness — ``cross_validate``, ``compare_methods``,
+``scaling_experiment``, ``graphhd_robustness_curve`` — must return
+**bit-identical** accuracies, fold assignments and result structure for every
+worker count, across backends, and for methods that veto the encoding cache
+(the random-centrality ablation).  These tests pin that contract down so
+parallelism can never silently change reported numbers.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.comparison import compare_methods
+from repro.eval.cross_validation import cross_validate
+from repro.eval.encoding_store import EncodingStore
+from repro.eval.parallel import ENV_N_JOBS, parallelism_available, resolve_n_jobs, run_tasks
+from repro.eval.robustness import graphhd_robustness_curve
+from repro.eval.scaling import scaling_experiment
+
+DIMENSION = 512
+
+
+def make_factory(backend="dense", centrality="pagerank"):
+    def factory():
+        return GraphHDClassifier(
+            GraphHDConfig(
+                dimension=DIMENSION, seed=0, backend=backend, centrality=centrality
+            )
+        )
+
+    return factory
+
+
+def fold_fingerprints(result):
+    """Everything that must be bit-identical across worker counts."""
+    return [
+        (
+            fold.fold,
+            fold.repetition,
+            fold.accuracy,
+            fold.num_train_graphs,
+            fold.num_test_graphs,
+            fold.test_indices,
+        )
+        for fold in result.folds
+    ]
+
+
+class TestRunTasks:
+    def test_results_in_task_order(self):
+        results = run_tasks([lambda value=value: value * 2 for value in range(7)], n_jobs=3)
+        assert results == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_serial_when_one_job(self):
+        assert run_tasks([lambda: os.getpid()], n_jobs=1) == [os.getpid()]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            run_tasks([boom], n_jobs=1)
+        if parallelism_available():
+            with pytest.raises(RuntimeError, match="task failed"):
+                run_tasks([boom, boom], n_jobs=2)
+
+    def test_workers_are_separate_processes(self):
+        if not parallelism_available():
+            pytest.skip("no fork start method on this platform")
+        pids = run_tasks([os.getpid for _ in range(4)], n_jobs=2)
+        assert os.getpid() not in pids
+
+    def test_empty_task_list(self):
+        assert run_tasks([], n_jobs=4) == []
+
+
+class TestResolveNJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_N_JOBS, raising=False)
+        assert resolve_n_jobs(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_N_JOBS, "8")
+        assert resolve_n_jobs(3) == 3
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_N_JOBS, "2")
+        assert resolve_n_jobs(None) == 2
+
+    def test_zero_and_negative_mean_all_cores(self):
+        cores = max(1, os.cpu_count() or 1)
+        assert resolve_n_jobs(0) == cores
+        assert resolve_n_jobs(-1) == cores
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_N_JOBS, "many")
+        with pytest.raises(ValueError):
+            resolve_n_jobs(None)
+
+
+class TestCrossValidateEquivalence:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_bit_identical_across_worker_counts(
+        self, two_class_dataset, backend, n_jobs
+    ):
+        factory = make_factory(backend)
+        serial = cross_validate(
+            factory, two_class_dataset, n_splits=5, repetitions=2, seed=0, n_jobs=1
+        )
+        parallel = cross_validate(
+            factory, two_class_dataset, n_splits=5, repetitions=2, seed=0, n_jobs=n_jobs
+        )
+        assert fold_fingerprints(serial) == fold_fingerprints(parallel)
+        assert serial.base_seed == parallel.base_seed
+        assert serial.encoding_cached and parallel.encoding_cached
+
+    def test_timings_structure_preserved(self, two_class_dataset):
+        parallel = cross_validate(
+            make_factory(),
+            two_class_dataset,
+            n_splits=5,
+            repetitions=1,
+            seed=0,
+            n_jobs=2,
+        )
+        assert len(parallel.folds) == 5
+        for fold in parallel.folds:
+            assert fold.train_seconds > 0
+            assert fold.test_seconds > 0
+            assert fold.inference_seconds_per_graph > 0
+        assert parallel.mean_train_seconds > 0
+        summary = parallel.summary()
+        assert summary["folds"] == 5
+        assert summary["encoding_cached"] is True
+
+    def test_uncached_protocol_equivalence(self, two_class_dataset):
+        factory = make_factory()
+        serial = cross_validate(
+            factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            encoding_cache=False,
+            n_jobs=1,
+        )
+        parallel = cross_validate(
+            factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            encoding_cache=False,
+            n_jobs=2,
+        )
+        assert fold_fingerprints(serial) == fold_fingerprints(parallel)
+        assert not serial.encoding_cached and not parallel.encoding_cached
+
+    def test_random_centrality_ablation_vetoes_cache_and_matches(
+        self, two_class_dataset, tmp_path
+    ):
+        # The random-centrality ablation vetoes both the in-memory encoding
+        # cache and the persistent store; every fold re-encodes with a fresh,
+        # identically seeded model, so serial and parallel runs still agree.
+        factory = make_factory(centrality="random")
+        store = EncodingStore(tmp_path / "store")
+        serial = cross_validate(
+            factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            n_jobs=1,
+            encoding_store=store,
+        )
+        parallel = cross_validate(
+            factory,
+            two_class_dataset,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            n_jobs=2,
+            encoding_store=store,
+        )
+        assert not serial.encoding_cached and not parallel.encoding_cached
+        assert len(store) == 0
+        assert fold_fingerprints(serial) == fold_fingerprints(parallel)
+
+    def test_store_and_parallel_compose(self, two_class_dataset, tmp_path):
+        store = EncodingStore(tmp_path / "store")
+        factory = make_factory()
+        cold = cross_validate(
+            factory, two_class_dataset, n_splits=5, repetitions=1, seed=0,
+            n_jobs=2, encoding_store=store,
+        )
+        warm = cross_validate(
+            factory, two_class_dataset, n_splits=5, repetitions=1, seed=0,
+            n_jobs=2, encoding_store=store,
+        )
+        assert not cold.encoding_store_hit
+        assert warm.encoding_store_hit
+        assert fold_fingerprints(cold) == fold_fingerprints(warm)
+
+
+class TestCompareMethodsEquivalence:
+    def test_grid_bit_identical(self, two_class_dataset):
+        kwargs = dict(
+            methods=("GraphHD", "1-WL"),
+            fast=True,
+            n_splits=3,
+            repetitions=1,
+            seed=0,
+            dimension=DIMENSION,
+        )
+        serial = compare_methods([two_class_dataset], n_jobs=1, **kwargs)
+        parallel = compare_methods([two_class_dataset], n_jobs=2, **kwargs)
+        assert serial.accuracy_table() == parallel.accuracy_table()
+        for key in serial.results:
+            assert fold_fingerprints(serial.results[key]) == fold_fingerprints(
+                parallel.results[key]
+            )
+
+    def test_single_cell_forwards_workers_to_folds(self, two_class_dataset):
+        kwargs = dict(
+            methods=("GraphHD",),
+            fast=True,
+            n_splits=4,
+            repetitions=1,
+            seed=0,
+            dimension=DIMENSION,
+        )
+        serial = compare_methods([two_class_dataset], n_jobs=1, **kwargs)
+        parallel = compare_methods([two_class_dataset], n_jobs=2, **kwargs)
+        key = (two_class_dataset.name, "GraphHD")
+        assert fold_fingerprints(serial.results[key]) == fold_fingerprints(
+            parallel.results[key]
+        )
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_backends_bit_identical(self, two_class_dataset, backend):
+        kwargs = dict(
+            methods=("GraphHD",),
+            fast=True,
+            n_splits=3,
+            repetitions=2,
+            seed=0,
+            dimension=DIMENSION,
+            backend=backend,
+        )
+        serial = compare_methods([two_class_dataset], n_jobs=1, **kwargs)
+        parallel = compare_methods([two_class_dataset], n_jobs=4, **kwargs)
+        assert serial.accuracy_table() == parallel.accuracy_table()
+
+
+class TestScalingEquivalence:
+    def test_sweep_points_bit_identical(self):
+        kwargs = dict(
+            methods=("GraphHD",),
+            num_graphs=16,
+            fast=True,
+            seed=0,
+            dimension=DIMENSION,
+        )
+        serial = scaling_experiment([15, 25, 35], n_jobs=1, **kwargs)
+        parallel = scaling_experiment([15, 25, 35], n_jobs=2, **kwargs)
+        assert [point.num_vertices for point in serial] == [
+            point.num_vertices for point in parallel
+        ]
+        assert [point.accuracy for point in serial] == [
+            point.accuracy for point in parallel
+        ]
+        for point in parallel:
+            assert point.train_seconds["GraphHD"] > 0
+
+
+class TestRobustnessEquivalence:
+    def test_curve_bit_identical(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        kwargs = dict(
+            corruption_fractions=(0.0, 0.2, 0.4),
+            repetitions=3,
+            seed=0,
+        )
+        serial = graphhd_robustness_curve(
+            make_factory(), graphs[:20], labels[:20], graphs[20:], labels[20:],
+            n_jobs=1, **kwargs,
+        )
+        parallel = graphhd_robustness_curve(
+            make_factory(), graphs[:20], labels[:20], graphs[20:], labels[20:],
+            n_jobs=3, **kwargs,
+        )
+        assert serial.fractions == parallel.fractions
+        assert serial.accuracies == parallel.accuracies

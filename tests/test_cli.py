@@ -44,6 +44,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["quickstart", "--backend", "sparse"])
 
+    def test_parallel_flags_on_every_experiment_command(self):
+        for command in ("quickstart", "compare", "scaling", "robustness"):
+            args = build_parser().parse_args([command])
+            assert args.n_jobs is None
+            assert args.encoding_store is None
+            assert args.clear_encoding_store is False
+
+    def test_n_jobs_flag_parses(self):
+        args = build_parser().parse_args(["quickstart", "--n-jobs", "4"])
+        assert args.n_jobs == 4
+
+    def test_encoding_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["compare", "--encoding-store", "/tmp/store", "--clear-encoding-store"]
+        )
+        assert args.encoding_store == "/tmp/store"
+        assert args.clear_encoding_store is True
+
+    def test_clear_encoding_store_requires_store_path(self):
+        with pytest.raises(SystemExit):
+            main(["quickstart", "--clear-encoding-store"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -137,6 +159,145 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "robustness" in output.lower()
         assert "30%" in output
+
+    def test_quickstart_with_n_jobs(self, capsys):
+        exit_code = main(
+            [
+                "quickstart",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--dimension",
+                "512",
+                "--folds",
+                "3",
+                "--n-jobs",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "accuracy (mean)" in capsys.readouterr().out
+
+    def test_n_jobs_env_var_respected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "2")
+        exit_code = main(
+            [
+                "quickstart",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--dimension",
+                "512",
+                "--folds",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "accuracy (mean)" in capsys.readouterr().out
+
+    def test_encoding_store_reused_across_runs(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--encoding-store",
+            store_path,
+        ]
+        assert main(quickstart) == 0
+        first = capsys.readouterr().out
+        assert "miss" in first
+        assert "misses=1" in first
+
+        assert main(quickstart) == 0
+        second = capsys.readouterr().out
+        assert "hit" in second
+        assert "hits=1" in second
+
+    def test_clear_encoding_store_flag_empties_store(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--encoding-store",
+            store_path,
+        ]
+        assert main(quickstart) == 0
+        capsys.readouterr()
+        assert main(quickstart + ["--clear-encoding-store"]) == 0
+        # The pre-run clear wiped the first run's entry, so this run misses
+        # again and rebuilds exactly one entry.
+        output = capsys.readouterr().out
+        assert "misses=1" in output
+        assert "entries=1" in output
+
+    def test_no_encoding_cache_disables_store(self, capsys, tmp_path):
+        import os
+
+        store_path = str(tmp_path / "store")
+        exit_code = main(
+            [
+                "quickstart",
+                "--dataset",
+                "MUTAG",
+                "--scale",
+                "0.2",
+                "--dimension",
+                "512",
+                "--folds",
+                "3",
+                "--encoding-store",
+                store_path,
+                "--no-encoding-cache",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "encoding store" not in output
+        # The paper's timing protocol re-encodes per fold; nothing persisted.
+        assert not os.path.isdir(store_path) or os.listdir(store_path) == []
+
+    def test_compare_with_store_and_n_jobs(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        compare = [
+            "compare",
+            "--datasets",
+            "MUTAG",
+            "--methods",
+            "GraphHD",
+            "--scale",
+            "0.15",
+            "--folds",
+            "2",
+            "--dimension",
+            "512",
+            "--fast",
+            "--n-jobs",
+            "2",
+            "--encoding-store",
+            store_path,
+        ]
+        assert main(compare) == 0
+        first = capsys.readouterr().out
+        assert "hits=0" in first
+        assert main(compare) == 0
+        second = capsys.readouterr().out
+        assert "hits=1" in second
 
     def test_quickstart_command_packed_backend(self, capsys):
         exit_code = main(
