@@ -164,7 +164,7 @@ def test_persistent_store_cross_validate_reuse(profile):
     try:
         store = EncodingStore(store_dir)
 
-        def run():
+        def run(mmap_mode=None):
             start = time.perf_counter()
             result = cross_validate(
                 factory,
@@ -174,26 +174,34 @@ def test_persistent_store_cross_validate_reuse(profile):
                 repetitions=1,
                 seed=profile.seed,
                 encoding_store=store,
+                mmap_mode=mmap_mode,
             )
             return time.perf_counter() - start, result
 
         cold_seconds, cold = run()
         warm_seconds, warm = run()
+        # Warm again through the read-only mmap path: the folds slice views
+        # of one page-cached matrix instead of a materialized copy.
+        mmap_seconds, mapped = run(mmap_mode="r")
 
         assert not cold.encoding_store_hit
         assert warm.encoding_store_hit
+        assert mapped.encoding_store_hit
         assert _fold_fingerprints(cold) == _fold_fingerprints(warm)
-        # The warm run must actually skip encoding: the one-off encoding
-        # stage collapses to a store load.
-        assert store.stats["hits"] == 1
+        assert _fold_fingerprints(cold) == _fold_fingerprints(mapped)
+        # The warm runs must actually skip encoding: the one-off encoding
+        # stage collapses to a store load (or map).
+        assert store.stats["hits"] == 2
 
         _RESULTS["persistent_store_cross_validate"] = {
             "num_graphs": len(dataset),
             "folds": CV_FOLDS,
             "cold_seconds": round(cold_seconds, 4),
             "warm_seconds": round(warm_seconds, 4),
+            "warm_mmap_seconds": round(mmap_seconds, 4),
             "cold_encode_seconds": round(cold.encoding_seconds, 4),
             "warm_load_seconds": round(warm.encoding_seconds, 4),
+            "warm_mmap_load_seconds": round(mapped.encoding_seconds, 4),
             "speedup": round(cold_seconds / warm_seconds, 2),
             "identical_results": True,
         }
@@ -206,6 +214,7 @@ def test_persistent_store_cross_validate_reuse(profile):
                 [
                     ["cold (encode + persist)", f"{cold_seconds:.3f}", f"{cold.encoding_seconds:.3f}"],
                     ["warm (load from store)", f"{warm_seconds:.3f}", f"{warm.encoding_seconds:.3f}"],
+                    ["warm (mmap, read-only)", f"{mmap_seconds:.3f}", f"{mapped.encoding_seconds:.3f}"],
                 ],
             ),
         )

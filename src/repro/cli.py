@@ -8,6 +8,8 @@ without writing code::
     python -m repro.cli scaling --sizes 50 100 200 --num-graphs 40
     python -m repro.cli robustness --dataset MUTAG --fractions 0 0.1 0.3
     python -m repro.cli datasets
+    python -m repro.cli store stats .encoding-store
+    python -m repro.cli store prune .encoding-store --max-bytes 100000000
 
 Every sub-command prints plain-text tables (the same renderer the benchmark
 harness uses) and returns a zero exit code on success.
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.core.encoding import GraphHDConfig
@@ -77,24 +80,45 @@ def _add_parallel_arguments(parser) -> None:
         action="store_true",
         help="delete every entry of --encoding-store before running",
     )
+    parser.add_argument(
+        "--encoding-store-mmap",
+        action="store_true",
+        help="serve encoding-store hits as read-only memory-mapped views, so "
+        "worker processes share one page-cached matrix instead of copying it "
+        "(results are bit-identical either way)",
+    )
 
 
-def _encoding_store_from_args(args) -> EncodingStore | None:
+def _encoding_store_from_args(args) -> tuple[EncodingStore | None, str]:
     """The persistent store selected by the CLI flags, cleared when asked.
 
-    The store only participates when the in-memory encoding cache is on;
-    ``--no-encoding-cache`` (the paper's timing protocol) therefore disables
-    it too, though ``--clear-encoding-store`` still clears the directory.
+    Returns ``(store, preamble)``; the preamble reports a requested
+    ``--clear-encoding-store`` honestly (complete entries and swept
+    temporary files counted separately).  The store only participates when
+    the in-memory encoding cache is on; ``--no-encoding-cache`` (the paper's
+    timing protocol) therefore disables it too, though
+    ``--clear-encoding-store`` still clears the directory.
     """
     path = getattr(args, "encoding_store", None)
     if path is None:
-        return None
+        return None, ""
     store = EncodingStore(path)
+    preamble = ""
     if getattr(args, "clear_encoding_store", False):
-        store.clear()
+        report = store.clear()
+        preamble = (
+            f"cleared encoding store {store.path}: "
+            f"{report.entries_removed} entries, "
+            f"{report.temp_files_removed} temp files\n"
+        )
     if not getattr(args, "encoding_cache", True):
-        return None
-    return store
+        return None, preamble
+    return store, preamble
+
+
+def _mmap_mode_from_args(args) -> str | None:
+    """The store mmap policy selected by ``--encoding-store-mmap``."""
+    return "r" if getattr(args, "encoding_store_mmap", False) else None
 
 
 def _store_summary(store: EncodingStore | None) -> str:
@@ -184,6 +208,58 @@ def _add_datasets_parser(subparsers) -> None:
     _add_backend_argument(parser)
 
 
+def _add_store_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "store", help="manage a persistent encoding store directory"
+    )
+    actions = parser.add_subparsers(dest="store_action", required=True)
+
+    list_parser = actions.add_parser(
+        "list", help="list every entry with size, format and access times"
+    )
+    stats_parser = actions.add_parser(
+        "stats", help="aggregate store statistics (entries, bytes, formats)"
+    )
+    prune_parser = actions.add_parser(
+        "prune", help="evict entries by LRU size bound and/or age horizon"
+    )
+    prune_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used entries until the store fits this "
+        "many bytes",
+    )
+    prune_parser.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        help="evict entries last accessed more than this many seconds ago",
+    )
+    prune_parser.add_argument(
+        "--policy",
+        choices=["lru"],
+        default="lru",
+        help="eviction order (only least-recently-used is implemented)",
+    )
+    clear_parser = actions.add_parser(
+        "clear", help="delete every entry and stray temporary file"
+    )
+    migrate_parser = actions.add_parser(
+        "migrate",
+        help="rewrite legacy compressed .npz entries into the "
+        "uncompressed, mmap-able format",
+    )
+    for action_parser in (
+        list_parser,
+        stats_parser,
+        prune_parser,
+        clear_parser,
+        migrate_parser,
+    ):
+        action_parser.add_argument("path", help="encoding store directory")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser for ``python -m repro.cli``."""
     parser = argparse.ArgumentParser(
@@ -196,12 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scaling_parser(subparsers)
     _add_robustness_parser(subparsers)
     _add_datasets_parser(subparsers)
+    _add_store_parser(subparsers)
     return parser
 
 
 def run_quickstart(args) -> str:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    store = _encoding_store_from_args(args)
+    store, preamble = _encoding_store_from_args(args)
     result = cross_validate(
         lambda: GraphHDClassifier(
             GraphHDConfig(
@@ -216,6 +293,7 @@ def run_quickstart(args) -> str:
         encoding_cache=args.encoding_cache,
         n_jobs=args.n_jobs,
         encoding_store=store,
+        mmap_mode=_mmap_mode_from_args(args),
     )
     rows = [
         ["dataset", dataset.name],
@@ -232,7 +310,7 @@ def run_quickstart(args) -> str:
             rows.append(
                 ["encoding store", "hit" if result.encoding_store_hit else "miss"]
             )
-    return render_table(
+    return preamble + render_table(
         ["metric", "value"], rows, title="GraphHD quickstart"
     ) + _store_summary(store)
 
@@ -241,7 +319,7 @@ def run_compare(args) -> str:
     datasets = [
         load_dataset(name, scale=args.scale, seed=args.seed) for name in args.datasets
     ]
-    store = _encoding_store_from_args(args)
+    store, preamble = _encoding_store_from_args(args)
     comparison = compare_methods(
         datasets,
         methods=tuple(args.methods),
@@ -254,8 +332,9 @@ def run_compare(args) -> str:
         encoding_cache=args.encoding_cache,
         n_jobs=args.n_jobs,
         encoding_store=store,
+        mmap_mode=_mmap_mode_from_args(args),
     )
-    output = render_figure3(comparison)
+    output = preamble + render_figure3(comparison)
     # With the encoding cache, per-fold training time excludes encoding; show
     # the one-off encode cost alongside so the timing panel stays honest.
     # encoding_store_hit is recorded per result, so the report stays accurate
@@ -289,7 +368,7 @@ def run_compare(args) -> str:
 
 
 def run_scaling(args) -> str:
-    store = _encoding_store_from_args(args)
+    store, preamble = _encoding_store_from_args(args)
     points = scaling_experiment(
         args.sizes,
         methods=tuple(args.methods),
@@ -302,6 +381,7 @@ def run_scaling(args) -> str:
         encoding_cache=args.encoding_cache,
         n_jobs=args.n_jobs,
         encoding_store=store,
+        mmap_mode=_mmap_mode_from_args(args),
     )
     series = {
         method: [round(point.train_seconds[method], 4) for point in points]
@@ -314,7 +394,7 @@ def run_scaling(args) -> str:
             ]
             if any(encode_series):
                 series[f"{method} (encode)"] = encode_series
-    output = render_series(
+    output = preamble + render_series(
         [point.num_vertices for point in points],
         series,
         x_name="vertices",
@@ -334,7 +414,7 @@ def run_scaling(args) -> str:
 
 def run_robustness(args) -> str:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    store = _encoding_store_from_args(args)
+    store, preamble = _encoding_store_from_args(args)
     train_indices, test_indices = train_test_split(
         dataset.labels, test_fraction=0.25, seed=args.seed
     )
@@ -354,12 +434,13 @@ def run_robustness(args) -> str:
         encoding_cache=args.encoding_cache,
         n_jobs=args.n_jobs,
         encoding_store=store,
+        mmap_mode=_mmap_mode_from_args(args),
     )
     rows = [
         [f"{point.corruption_fraction:.0%}", round(point.accuracy, 4)]
         for point in curve.points
     ]
-    return render_table(
+    return preamble + render_table(
         ["corrupted components", "accuracy"],
         rows,
         title=f"GraphHD robustness on {dataset.name}",
@@ -371,12 +452,82 @@ def run_datasets(args) -> str:
     return render_table(["dataset"], rows, title="Available benchmark datasets")
 
 
+def _format_timestamp(stamp: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def run_store(args) -> str:
+    store = EncodingStore(args.path)
+    if args.store_action == "list":
+        manifest = store.manifest()
+        rows = [
+            [
+                info.key[:16],
+                info.format,
+                info.size_bytes,
+                _format_timestamp(info.created_at),
+                _format_timestamp(info.last_access_at),
+            ]
+            for info in sorted(
+                manifest.values(), key=lambda info: info.last_access_at
+            )
+        ]
+        return render_table(
+            ["key", "format", "bytes", "created", "last access"],
+            rows,
+            title=f"Encoding store {store.path} ({len(rows)} entries)",
+        )
+    if args.store_action == "stats":
+        stats = store.stats
+        rows = [
+            ["entries", stats["entries"]],
+            ["total bytes", stats["total_bytes"]],
+            ["legacy (.npz) entries", stats["legacy_entries"]],
+            ["mmap-able (.npy) entries", stats["entries"] - stats["legacy_entries"]],
+            ["stray temp files", stats["temp_files"]],
+        ]
+        return render_table(
+            ["metric", "value"], rows, title=f"Encoding store {store.path}"
+        )
+    if args.store_action == "prune":
+        if args.max_bytes is None and args.max_age is None:
+            raise SystemExit(
+                "repro store prune: at least one of --max-bytes / --max-age "
+                "is required"
+            )
+        report = store.prune(
+            max_bytes=args.max_bytes, max_age=args.max_age, policy=args.policy
+        )
+        return (
+            f"pruned encoding store {store.path}: "
+            f"removed {report.entries_removed} entries "
+            f"({report.bytes_freed} bytes), "
+            f"{report.entries_remaining} entries "
+            f"({report.bytes_remaining} bytes) remain"
+        )
+    if args.store_action == "clear":
+        report = store.clear()
+        return (
+            f"cleared encoding store {store.path}: "
+            f"{report.entries_removed} entries, "
+            f"{report.temp_files_removed} temp files"
+        )
+    if args.store_action == "migrate":
+        migrated = store.migrate()
+        return (
+            f"migrated encoding store {store.path}: "
+            f"{migrated} legacy entries rewritten to the mmap-able format"
+        )
+    raise ValueError(f"unknown store action {args.store_action!r}")
+
+
 _COMMANDS = {
     "quickstart": run_quickstart,
     "compare": run_compare,
     "scaling": run_scaling,
     "robustness": run_robustness,
     "datasets": run_datasets,
+    "store": run_store,
 }
 
 

@@ -11,6 +11,23 @@ from repro.graphs.graph import Graph
 from repro.graphs.properties import GraphStatistics, dataset_statistics
 
 
+def _canonical_label(label):
+    """Environment-independent form of a label, for fingerprint hashing.
+
+    numpy scalar reprs changed between numpy 1.x and 2.x (``1`` versus
+    ``np.int64(1)``), so hashing ``repr(label)`` directly would fingerprint
+    the same dataset differently across environments — silently splitting
+    persistent cache keys.  numpy scalars are unwrapped to the equivalent
+    Python scalar (they compare and hash equal to it, so they also encode
+    identically), and containers are canonicalized element-wise.
+    """
+    if isinstance(label, np.generic):
+        return label.item()
+    if isinstance(label, (list, tuple)):
+        return tuple(_canonical_label(item) for item in label)
+    return label
+
+
 def graphs_fingerprint(graphs: Sequence[Graph]) -> str:
     """Stable content hash of a sequence of graphs.
 
@@ -18,12 +35,13 @@ def graphs_fingerprint(graphs: Sequence[Graph]) -> str:
     the cached edge arrays (in their stored order), graph labels and any
     vertex/edge labels — so two graph sequences share a fingerprint exactly
     when every encoder produces identical encodings for both.  It is stable
-    across processes and interpreter runs (no ``hash()`` randomization),
-    which makes it usable as part of a persistent cache key; see
-    :mod:`repro.eval.encoding_store`.
+    across processes, interpreter runs (no ``hash()`` randomization) and
+    numpy versions (labels are canonicalized before hashing; see
+    :func:`_canonical_label`), which makes it usable as part of a persistent
+    cache key; see :mod:`repro.eval.encoding_store`.
     """
     digest = hashlib.sha256()
-    digest.update(b"repro-graphs-fingerprint-v1")
+    digest.update(b"repro-graphs-fingerprint-v2")
     digest.update(len(graphs).to_bytes(8, "little"))
     for graph in graphs:
         digest.update(b"G")
@@ -31,14 +49,23 @@ def graphs_fingerprint(graphs: Sequence[Graph]) -> str:
         sources, targets = graph.edge_arrays()
         digest.update(np.ascontiguousarray(sources, dtype=np.int64).tobytes())
         digest.update(np.ascontiguousarray(targets, dtype=np.int64).tobytes())
-        digest.update(repr(graph.graph_label).encode("utf-8"))
+        digest.update(repr(_canonical_label(graph.graph_label)).encode("utf-8"))
         if graph.vertex_labels is not None:
             digest.update(b"V")
-            digest.update(repr(list(graph.vertex_labels)).encode("utf-8"))
+            digest.update(
+                repr(
+                    [_canonical_label(label) for label in graph.vertex_labels]
+                ).encode("utf-8")
+            )
         if graph.edge_labels:
             digest.update(b"E")
             digest.update(
-                repr(sorted(graph.edge_labels.items())).encode("utf-8")
+                repr(
+                    sorted(
+                        (edge, _canonical_label(label))
+                        for edge, label in graph.edge_labels.items()
+                    )
+                ).encode("utf-8")
             )
     return digest.hexdigest()
 

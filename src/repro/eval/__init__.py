@@ -16,7 +16,8 @@ This subpackage implements the paper's experimental protocol:
   harness fans out over (``n_jobs`` / ``REPRO_N_JOBS``), with bit-identical
   results for every worker count;
 * :mod:`repro.eval.encoding_store` — the persistent on-disk encoding cache
-  shared across folds, processes and runs;
+  shared across folds, processes and runs, with mmap-able read-only entries
+  and a manifest-driven prune/clear/migrate lifecycle (``repro store``);
 * :mod:`repro.eval.reporting` — plain-text rendering of tables and series.
 """
 

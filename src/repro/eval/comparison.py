@@ -111,6 +111,7 @@ def compare_methods(
     encoding_cache: bool = True,
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
+    mmap_mode: str | None = None,
 ) -> ComparisonResult:
     """Run the Figure 3 comparison over the given datasets and methods.
 
@@ -127,7 +128,9 @@ def compare_methods(
     the measured per-fold timings are wall-clock and reflect workers running
     concurrently.  ``encoding_store`` is forwarded
     to every cell so cache-capable methods share one persistently cached
-    encoding per (config, dataset) across cells, processes and runs.
+    encoding per (config, dataset) across cells, processes and runs;
+    ``mmap_mode="r"`` additionally serves store hits as read-only
+    memory-mapped views shared through the page cache.
     """
     comparison = ComparisonResult()
     pairs = [(dataset, method_name) for dataset in datasets for method_name in methods]
@@ -150,6 +153,7 @@ def compare_methods(
             encoding_cache=encoding_cache,
             n_jobs=fold_jobs,
             encoding_store=encoding_store,
+            mmap_mode=mmap_mode,
         )
 
     results = run_tasks(

@@ -173,6 +173,7 @@ def cross_validate(
     encoding_cache: bool = True,
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
+    mmap_mode: str | None = None,
 ) -> CrossValidationResult:
     """Run repeated stratified K-fold cross-validation for one method.
 
@@ -217,6 +218,12 @@ def cross_validate(
         is active, the dataset encodings are loaded from (or saved to) the
         store so later runs and sibling processes skip re-encoding.  Models
         that veto the in-memory cache veto the store as well.
+    mmap_mode:
+        ``"r"`` serves store entries as read-only memory-mapped views, so
+        every forked fold worker shares the one page-cached encoding matrix
+        instead of copying it; results are bit-identical to in-memory loads
+        (folds only slice the matrix, which copies).  Ignored without a
+        store.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
@@ -241,6 +248,7 @@ def cross_validate(
                 fingerprint=(
                     dataset.fingerprint() if encoding_store is not None else None
                 ),
+                mmap_mode=mmap_mode,
             )
             result.encoding_seconds = time.perf_counter() - encode_start
             result.encoding_cached = True

@@ -1,11 +1,36 @@
-"""Persistent on-disk store of dataset encodings.
+"""Persistent on-disk store of dataset encodings, with lifecycle management.
 
 Repeated experiment sweeps — ablations, dimension sweeps, method grids —
 re-encode the same datasets with the same encoder configurations over and
 over, across processes and across runs.  The :class:`EncodingStore` spills
-each ``(encoder config, backend, dataset)`` encoding matrix to a directory of
-``.npz`` entries so any later run (or any worker process) can load it back
-instead of re-encoding.
+each ``(encoder config, backend, dataset)`` encoding matrix to a store
+directory so any later run (or any worker process) can load it back instead
+of re-encoding.
+
+Entry format
+------------
+An entry is an **uncompressed** ``<key>.npy`` payload plus a ``<key>.json``
+sidecar carrying the store version, dtype/shape and creation time.  The
+uncompressed payload is the point: ``EncodingStore.load(key, mmap_mode="r")``
+memory-maps it read-only, so a fork-pool of worker processes shares one
+page-cached copy of the encoding matrix instead of each worker materializing
+its own (see :mod:`repro.eval.parallel`).  Legacy single-file ``.npz``
+entries written by older store versions still load transparently, and are
+rewritten into the mmap-able format on demand (a ``load(mmap_mode="r")``
+migrates in place) or in bulk with :meth:`EncodingStore.migrate`.
+
+Lifecycle
+---------
+The store grows monotonically as sweeps touch new configurations, so it
+keeps a ``manifest.json`` recording each entry's size in bytes, creation
+time and last-access time.  :meth:`EncodingStore.prune` evicts entries by
+recency — ``prune(max_bytes=...)`` enforces a total-size bound in LRU order,
+``prune(max_age=...)`` drops entries unused for longer than a horizon — and
+:meth:`EncodingStore.clear` wipes the store.  The manifest is advisory: it
+is rebuilt from a directory scan whenever it is missing or stale, so
+concurrent writers that lose a manifest race only lose access-time
+precision, never entries.  The ``repro store`` CLI subcommand exposes all of
+this (``list``, ``stats``, ``prune``, ``clear``, ``migrate``).
 
 Cache keys and safety
 ---------------------
@@ -23,7 +48,7 @@ An entry's key is the SHA-256 of a canonical JSON document combining
 Changing any of these (different dimension, different backend, different
 graphs, new store version) changes the key, so stale entries are never
 returned — they are simply unreachable and can be dropped with
-:meth:`EncodingStore.clear`.
+:meth:`EncodingStore.prune` or :meth:`EncodingStore.clear`.
 
 A model vetoes persistent caching by exposing no token (``None``): GraphHD
 does so for the ``"random"`` vertex-identifier ablation, whose encodings
@@ -33,12 +58,21 @@ then falls back to encoding in memory, exactly like the store-less path.
 
 Concurrency
 -----------
-Writes are atomic: entries are serialized to a temporary file in the store
-directory and published with :func:`os.replace`, so two processes racing on
-the same store path both succeed and readers only ever observe complete
-entries.  Corrupted or truncated entries (e.g. from a killed process using an
-older, non-atomic writer) are detected on load, deleted, and treated as a
-miss.
+Writes are atomic: the sidecar is published first and the payload last, each
+serialized to a temporary file in the store directory and published with
+:func:`os.replace`, so two processes racing on the same store path both
+succeed and readers only ever observe complete entries.  Corrupted or
+truncated entries (e.g. from a killed process using an older, non-atomic
+writer) are detected on load, deleted, and treated as a miss.  Pruning an
+entry while another process holds it memory-mapped is safe on POSIX: the
+unlinked file stays readable through the existing mapping.
+
+Arrays returned by the store are **read-only** — both the memory-mapped and
+the in-memory flavour — and :func:`dataset_encodings` normalizes its miss
+path to match, so callers see identical array flags whether the encodings
+were computed, loaded, or mapped.  A caller that needs to mutate encodings
+must take an explicit copy (``np.array(encodings)``), which is the
+copy-on-write fallback for the mmap path.
 """
 
 from __future__ import annotations
@@ -47,7 +81,9 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -55,8 +91,51 @@ from repro.datasets.dataset import graphs_fingerprint
 from repro.graphs.graph import Graph
 
 #: On-disk format version; part of every cache key, so bumping it invalidates
-#: every existing entry (versioned invalidation).
+#: every existing entry (versioned invalidation).  The payload *file* format
+#: (legacy ``.npz`` vs. mmap-able ``.npy`` + sidecar) is self-describing and
+#: does not participate in the key.
 STORE_VERSION = 1
+
+#: File name of the per-store manifest tracking entry sizes and access times.
+MANIFEST_NAME = "manifest.json"
+
+#: Prefix of in-flight temporary files; never counted as entries.
+TEMP_PREFIX = ".tmp-"
+
+
+@dataclass
+class EntryInfo:
+    """Manifest record of one store entry."""
+
+    key: str
+    size_bytes: int
+    created_at: float
+    last_access_at: float
+    format: str  # "npy" (mmap-able) or "npz" (legacy)
+
+
+@dataclass
+class ClearReport:
+    """What :meth:`EncodingStore.clear` actually removed.
+
+    Complete entries and swept temporary files are counted separately:
+    earlier versions lumped ``.tmp-*`` leftovers into one number, inflating
+    the "entries removed" report relative to what ``entries()`` counts.
+    """
+
+    entries_removed: int = 0
+    temp_files_removed: int = 0
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one :meth:`EncodingStore.prune` pass."""
+
+    entries_removed: int = 0
+    bytes_freed: int = 0
+    entries_remaining: int = 0
+    bytes_remaining: int = 0
+    removed_keys: list[str] = field(default_factory=list)
 
 
 class EncodingStore:
@@ -69,14 +148,25 @@ class EncodingStore:
     version:
         Store format version mixed into every key; defaults to
         :data:`STORE_VERSION`.  Exposed for the invalidation tests.
+    clock:
+        Time source for the manifest's creation/access stamps; defaults to
+        :func:`time.time`.  Injectable so the eviction-order tests are
+        deterministic.
     """
 
-    def __init__(self, path, *, version: int = STORE_VERSION) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        version: int = STORE_VERSION,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.path = os.fspath(path)
         self.version = int(version)
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self._clock = clock
 
     # ----------------------------------------------------------------- keys
     def key(self, token: dict, fingerprint: str) -> str:
@@ -92,100 +182,456 @@ class EncodingStore:
         )
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
-    def _entry_path(self, key: str) -> str:
+    def _payload_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.npy")
+
+    def _sidecar_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
+
+    def _legacy_path(self, key: str) -> str:
         return os.path.join(self.path, f"{key}.npz")
 
-    # ---------------------------------------------------------------- access
-    def load(self, key: str) -> np.ndarray | None:
-        """The encodings stored under ``key``, or None on a miss.
+    def _entry_format(self, key: str) -> str | None:
+        """``"npy"``/``"npz"`` when a complete entry exists for ``key``."""
+        if os.path.exists(self._payload_path(key)):
+            return "npy"
+        if os.path.exists(self._legacy_path(key)):
+            return "npz"
+        return None
 
-        An unreadable entry (corrupted file, wrong embedded version) is
-        removed and reported as a miss so the caller re-encodes and the next
-        :meth:`save` replaces it with a good one.
-        """
-        path = self._entry_path(key)
-        if not os.path.exists(path):
-            self.misses += 1
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                if int(data["store_version"]) != self.version:
-                    raise ValueError("store version mismatch")
-                encodings = np.array(data["encodings"], copy=True)
-        except Exception:
+    def _entry_files(self, key: str) -> list[str]:
+        """Paths (existing ones only) that make up the entry for ``key``."""
+        candidates = (
+            self._payload_path(key),
+            self._sidecar_path(key),
+            self._legacy_path(key),
+        )
+        return [path for path in candidates if os.path.exists(path)]
+
+    def _remove_entry(self, key: str) -> int:
+        """Delete all files of one entry; returns the bytes freed."""
+        freed = 0
+        for file_path in self._entry_files(key):
             try:
-                os.remove(path)
+                freed += os.path.getsize(file_path)
+                os.remove(file_path)
             except OSError:
                 pass
-            self.misses += 1
-            return None
-        self.hits += 1
-        return encodings
+        return freed
 
-    def save(self, key: str, encodings: np.ndarray) -> None:
-        """Atomically persist ``encodings`` under ``key``.
+    # ------------------------------------------------------------- manifest
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, MANIFEST_NAME)
 
-        The entry is written to a temporary file in the store directory and
-        published with an atomic rename, so concurrent writers cannot leave a
-        partially written entry behind (the last writer wins, and both write
-        identical bytes for the same key anyway).
-        """
+    def _write_json_atomic(self, target: str, document: dict) -> None:
         os.makedirs(self.path, exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(
-            dir=self.path, prefix=".tmp-", suffix=".npz"
+            dir=self.path, prefix=TEMP_PREFIX, suffix=".json"
         )
         try:
-            with os.fdopen(descriptor, "wb") as handle:
-                np.savez_compressed(
-                    handle,
-                    store_version=np.int64(self.version),
-                    encodings=np.asarray(encodings),
-                )
-            os.replace(temp_path, self._entry_path(key))
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(temp_path, target)
         except BaseException:
             try:
                 os.remove(temp_path)
             except OSError:
                 pass
             raise
+
+    def _read_manifest(self) -> dict[str, dict]:
+        """The raw manifest entry map, or an empty map when unreadable."""
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            entries = document.get("entries", {})
+            if isinstance(entries, dict):
+                return entries
+        except (OSError, ValueError):
+            pass
+        return {}
+
+    def _write_manifest(self, entries: dict[str, dict]) -> None:
+        self._write_json_atomic(
+            self._manifest_path(), {"manifest_version": 1, "entries": entries}
+        )
+
+    def _entry_size(self, key: str) -> int:
+        size = 0
+        for path in self._entry_files(key):
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                # A concurrent prune/clear may unlink between listing and
+                # stat; a vanished file simply contributes no bytes.
+                pass
+        return size
+
+    def manifest(self) -> dict[str, EntryInfo]:
+        """Size and recency of every complete entry, reconciled with disk.
+
+        The stored manifest is advisory — concurrent processes may race on
+        it — so it is reconciled against a directory scan on every read:
+        entries missing from the manifest are adopted (stamped with the file
+        mtime), entries whose files are gone are dropped, and sizes are
+        refreshed from disk.
+        """
+        recorded = self._read_manifest()
+        reconciled: dict[str, EntryInfo] = {}
+        for key in self.entries():
+            entry_format = self._entry_format(key)
+            size = self._entry_size(key)
+            record = recorded.get(key)
+            if record is not None:
+                created = float(record.get("created_at", 0.0))
+                accessed = float(record.get("last_access_at", created))
+            else:
+                try:
+                    payload = (
+                        self._payload_path(key)
+                        if entry_format == "npy"
+                        else self._legacy_path(key)
+                    )
+                    created = accessed = os.path.getmtime(payload)
+                except OSError:
+                    created = accessed = float(self._clock())
+            reconciled[key] = EntryInfo(
+                key=key,
+                size_bytes=size,
+                created_at=created,
+                last_access_at=accessed,
+                format=entry_format or "npy",
+            )
+        return reconciled
+
+    def _store_manifest(self, manifest: dict[str, EntryInfo]) -> None:
+        self._write_manifest(
+            {
+                key: {
+                    "size_bytes": info.size_bytes,
+                    "created_at": info.created_at,
+                    "last_access_at": info.last_access_at,
+                    "format": info.format,
+                }
+                for key, info in manifest.items()
+            }
+        )
+
+    def _record_entry(self, key: str, *, created: bool) -> None:
+        """Stamp one entry in the manifest (new entry, or access touch).
+
+        Best-effort and O(1): only the touched record is read-modified-
+        written (no full directory scan on the load/save hot path), and
+        write failures — e.g. a pre-populated store served from a read-only
+        mount — are swallowed: the manifest is advisory, losing a touch only
+        costs access-time precision, and :meth:`manifest` reconciles against
+        a directory scan whenever the lifecycle commands need the truth.
+        """
+        try:
+            entry_format = self._entry_format(key)
+            if entry_format is None:
+                return
+            now = float(self._clock())
+            records = self._read_manifest()
+            record = records.get(key)
+            if record is None:
+                record = {"size_bytes": self._entry_size(key), "created_at": now}
+            elif created:
+                record["size_bytes"] = self._entry_size(key)
+                record["created_at"] = now
+            record["last_access_at"] = now
+            record["format"] = entry_format
+            records[key] = record
+            self._write_manifest(records)
+        except OSError:
+            pass
+
+    def total_bytes(self) -> int:
+        """Total size of every complete entry (payloads plus sidecars)."""
+        return sum(info.size_bytes for info in self.manifest().values())
+
+    # ---------------------------------------------------------------- access
+    def _read_payload(self, key: str, mmap_mode: str | None) -> np.ndarray:
+        """Read (or map) one entry's payload; raises on any corruption."""
+        entry_format = self._entry_format(key)
+        if entry_format == "npy":
+            with open(self._sidecar_path(key), "r", encoding="utf-8") as handle:
+                sidecar = json.load(handle)
+            if int(sidecar["store_version"]) != self.version:
+                raise ValueError("store version mismatch")
+            if mmap_mode is not None:
+                encodings = np.load(
+                    self._payload_path(key), mmap_mode="r", allow_pickle=False
+                )
+            else:
+                encodings = np.load(self._payload_path(key), allow_pickle=False)
+                encodings.flags.writeable = False
+            if list(encodings.shape) != list(sidecar["shape"]):
+                raise ValueError("payload shape does not match sidecar")
+            return encodings
+        if entry_format == "npz":
+            with np.load(self._legacy_path(key), allow_pickle=False) as data:
+                if int(data["store_version"]) != self.version:
+                    raise ValueError("store version mismatch")
+                encodings = np.array(data["encodings"], copy=True)
+            if mmap_mode is not None:
+                # Legacy entries cannot be mapped; migrate in place, then map.
+                self._write_entry(key, encodings)
+                try:
+                    os.remove(self._legacy_path(key))
+                except OSError:
+                    pass
+                return np.load(
+                    self._payload_path(key), mmap_mode="r", allow_pickle=False
+                )
+            encodings.flags.writeable = False
+            return encodings
+        raise FileNotFoundError(key)
+
+    def load(self, key: str, *, mmap_mode: str | None = None) -> np.ndarray | None:
+        """The encodings stored under ``key``, or None on a miss.
+
+        With ``mmap_mode="r"`` the returned array is a **read-only
+        memory-mapped view** of the uncompressed payload — worker processes
+        forked after the load all share the one page-cached copy.  Without
+        it, an in-memory array is returned, also read-only, so both flavours
+        expose identical flags.  Loading a legacy ``.npz`` entry with
+        ``mmap_mode`` set migrates it to the mmap-able format in place.
+
+        An unreadable entry (corrupted file, wrong embedded version) is
+        removed and reported as a miss so the caller re-encodes and the next
+        :meth:`save` replaces it with a good one.
+        """
+        if self._entry_format(key) is None:
+            self.misses += 1
+            return None
+        try:
+            encodings = self._read_payload(key, mmap_mode)
+        except Exception:
+            self._remove_entry(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._record_entry(key, created=False)
+        return encodings
+
+    def _write_entry(self, key: str, encodings: np.ndarray) -> None:
+        """Publish one v2 entry: sidecar first, uncompressed payload last.
+
+        Readers treat the payload's existence as the entry's existence, so
+        publishing the sidecar first means a crash between the two renames
+        leaves only an invisible orphan sidecar, never a half-entry.
+        """
+        encodings = np.ascontiguousarray(encodings)
+        os.makedirs(self.path, exist_ok=True)
+        self._write_json_atomic(
+            self._sidecar_path(key),
+            {
+                "store_version": self.version,
+                "dtype": encodings.dtype.str,
+                "shape": list(encodings.shape),
+                "created_at": float(self._clock()),
+            },
+        )
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.path, prefix=TEMP_PREFIX, suffix=".npy"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.save(handle, encodings, allow_pickle=False)
+            os.replace(temp_path, self._payload_path(key))
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def save(self, key: str, encodings: np.ndarray) -> None:
+        """Atomically persist ``encodings`` under ``key``.
+
+        Entries are written in the uncompressed, mmap-able format.  Each
+        file is published with an atomic rename, so concurrent writers
+        cannot leave a partially written entry behind (the last writer wins,
+        and both write identical bytes for the same key anyway).
+        """
+        self._write_entry(key, np.asarray(encodings))
+        # A fresh save supersedes any legacy payload lingering at this key.
+        try:
+            os.remove(self._legacy_path(key))
+        except OSError:
+            pass
         self.puts += 1
+        self._record_entry(key, created=True)
 
     # ------------------------------------------------------------ maintenance
     def entries(self) -> list[str]:
         """Keys of every complete entry currently in the store directory."""
         if not os.path.isdir(self.path):
             return []
-        return sorted(
-            name[: -len(".npz")]
-            for name in os.listdir(self.path)
-            if name.endswith(".npz") and not name.startswith(".tmp-")
-        )
+        keys = set()
+        for name in os.listdir(self.path):
+            if name.startswith(TEMP_PREFIX) or name == MANIFEST_NAME:
+                continue
+            if name.endswith(".npy") or name.endswith(".npz"):
+                keys.add(name.rsplit(".", 1)[0])
+        return sorted(keys)
 
     def __len__(self) -> int:
         return len(self.entries())
 
-    def clear(self) -> int:
-        """Delete every entry (and stray temporary file); returns the count removed."""
-        removed = 0
+    def temp_files(self) -> list[str]:
+        """Stray files in the store directory that are not part of any entry.
+
+        Covers in-flight ``.tmp-*`` leftovers from killed writers and
+        orphaned ``<key>.json`` sidecars whose payload never got published
+        (the crash window of the sidecar-first write ordering).  Neither
+        counts as an entry, and both are swept by :meth:`sweep_temp_files`.
+        """
         if not os.path.isdir(self.path):
-            return removed
+            return []
+        strays = []
         for name in os.listdir(self.path):
-            if name.endswith(".npz"):
-                try:
-                    os.remove(os.path.join(self.path, name))
-                    removed += 1
-                except OSError:
-                    pass
+            if name.startswith(TEMP_PREFIX):
+                strays.append(name)
+            elif name.endswith(".json") and name != MANIFEST_NAME:
+                if self._entry_format(name[: -len(".json")]) is None:
+                    strays.append(name)
+        return sorted(strays)
+
+    def sweep_temp_files(self) -> int:
+        """Delete stray temporary files and orphaned sidecars; returns the count."""
+        removed = 0
+        for name in self.temp_files():
+            try:
+                os.remove(os.path.join(self.path, name))
+                removed += 1
+            except OSError:
+                pass
         return removed
+
+    def clear(self) -> ClearReport:
+        """Delete every entry, stray temporary file and orphaned sidecar.
+
+        Returns a :class:`ClearReport` counting complete entries and swept
+        stray files separately, so the number of "entries removed" matches
+        what :meth:`entries` would have reported.
+        """
+        report = ClearReport()
+        if not os.path.isdir(self.path):
+            return report
+        for key in self.entries():
+            if self._remove_entry(key):
+                report.entries_removed += 1
+        report.temp_files_removed = self.sweep_temp_files()
+        try:
+            os.remove(self._manifest_path())
+        except OSError:
+            pass
+        return report
+
+    def prune(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        policy: str = "lru",
+    ) -> PruneReport:
+        """Evict entries until the store satisfies the given bounds.
+
+        Parameters
+        ----------
+        max_bytes:
+            Upper bound on the store's total entry size; least-recently-used
+            entries are evicted until the remainder fits.
+        max_age:
+            Entries whose last access is older than this many seconds (per
+            the store clock) are evicted regardless of size.
+        policy:
+            Eviction order; only ``"lru"`` (ascending last-access time) is
+            implemented.
+
+        Both bounds may be combined; with neither, nothing is removed.
+        Stray temporary files are always swept.
+        """
+        if policy != "lru":
+            raise ValueError(f"unknown eviction policy {policy!r}; expected 'lru'")
+        report = PruneReport()
+        self.sweep_temp_files()
+        manifest = self.manifest()
+        now = float(self._clock())
+        survivors = dict(manifest)
+
+        def evict(info: EntryInfo) -> None:
+            freed = self._remove_entry(info.key)
+            survivors.pop(info.key, None)
+            report.entries_removed += 1
+            report.bytes_freed += freed
+            report.removed_keys.append(info.key)
+
+        if max_age is not None:
+            for info in list(survivors.values()):
+                if now - info.last_access_at > float(max_age):
+                    evict(info)
+        if max_bytes is not None:
+            in_lru_order = sorted(
+                survivors.values(), key=lambda info: (info.last_access_at, info.key)
+            )
+            total = sum(info.size_bytes for info in in_lru_order)
+            for info in in_lru_order:
+                if total <= int(max_bytes):
+                    break
+                total -= info.size_bytes
+                evict(info)
+        self._store_manifest(survivors)
+        report.entries_remaining = len(survivors)
+        report.bytes_remaining = sum(info.size_bytes for info in survivors.values())
+        return report
+
+    def migrate(self) -> int:
+        """Rewrite every legacy ``.npz`` entry into the mmap-able format.
+
+        Returns the number of entries migrated.  Unreadable legacy entries
+        are dropped (the next encode re-creates them).  Entry keys, and
+        therefore cache hits, are unaffected — only the payload format
+        changes.
+        """
+        migrated = 0
+        for key in self.entries():
+            if self._entry_format(key) != "npz":
+                continue
+            try:
+                with np.load(self._legacy_path(key), allow_pickle=False) as data:
+                    if int(data["store_version"]) != self.version:
+                        raise ValueError("store version mismatch")
+                    encodings = np.array(data["encodings"], copy=True)
+            except Exception:
+                self._remove_entry(key)
+                continue
+            self._write_entry(key, encodings)
+            try:
+                os.remove(self._legacy_path(key))
+            except OSError:
+                pass
+            migrated += 1
+        if migrated:
+            self._store_manifest(self.manifest())
+        return migrated
 
     @property
     def stats(self) -> dict:
-        """Hit/miss/write counters of this store handle, plus the entry count."""
+        """Hit/miss/write counters of this store handle, plus store totals."""
+        manifest = self.manifest()
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
-            "entries": len(self),
+            "entries": len(manifest),
+            "total_bytes": sum(info.size_bytes for info in manifest.values()),
+            "legacy_entries": sum(
+                1 for info in manifest.values() if info.format == "npz"
+            ),
+            "temp_files": len(self.temp_files()),
         }
 
 
@@ -195,6 +641,7 @@ def dataset_encodings(
     store: EncodingStore | None = None,
     *,
     fingerprint: str | None = None,
+    mmap_mode: str | None = None,
 ) -> tuple[np.ndarray, bool]:
     """Encode ``graphs`` with ``model``, through the persistent store when possible.
 
@@ -207,6 +654,14 @@ def dataset_encodings(
 
     ``fingerprint`` lets callers holding a :class:`GraphDataset` pass its
     memoized ``dataset.fingerprint()`` instead of re-hashing the graphs here.
+
+    ``mmap_mode="r"`` asks for a read-only memory-mapped view on store hits,
+    so fork-pool workers share one page-cached matrix; the miss path then
+    re-opens the just-written entry the same way, and both paths return
+    arrays with identical dtype and writeability (read-only whenever the
+    store participated — a caller that must mutate takes a copy with
+    ``np.array(encodings)``).  Store-less and vetoed paths return the live
+    writable array from ``model.encode``.
     """
     graphs = list(graphs)
     token = getattr(model, "encoding_store_token", None)
@@ -215,9 +670,21 @@ def dataset_encodings(
     if fingerprint is None:
         fingerprint = graphs_fingerprint(graphs)
     key = store.key(token, fingerprint)
-    cached = store.load(key)
+    cached = store.load(key, mmap_mode=mmap_mode)
     if cached is not None:
         return cached, True
-    encodings = model.encode(graphs)
-    store.save(key, np.asarray(encodings))
+    encodings = np.asarray(model.encode(graphs))
+    store.save(key, encodings)
+    if mmap_mode is not None:
+        try:
+            # The roundtrip is exact (integer payloads, lossless format), so
+            # serving the mapped view keeps hit and miss paths identical.
+            return store._read_payload(key, mmap_mode), False
+        except Exception:
+            pass
+    if encodings.flags.writeable and encodings.flags.owndata:
+        encodings.flags.writeable = False
+    else:
+        encodings = np.array(encodings)
+        encodings.flags.writeable = False
     return encodings, False

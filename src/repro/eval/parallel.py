@@ -33,6 +33,16 @@ small per-fold result objects travel back over the pipe.  On platforms
 without ``fork`` (or inside a daemonic worker, where nesting pools is not
 allowed) execution silently degrades to the serial loop — same results,
 no parallelism.
+
+Copy-on-write sharing is strongest when the parent loads its encodings from
+the persistent store with ``mmap_mode="r"``
+(:meth:`repro.eval.encoding_store.EncodingStore.load`): the fold tasks then
+inherit a read-only memory *mapping* rather than resident pages, so every
+worker reads the one page-cached copy of the encoding matrix straight from
+disk cache — no per-worker materialization at all, and the matrix never
+counts against any worker's private RSS.  Tasks must treat such encodings
+as immutable (they are mapped read-only); a task that needs a writable
+matrix takes its own copy with ``np.array(encodings)``.
 """
 
 from __future__ import annotations

@@ -105,6 +105,7 @@ def graphhd_robustness_curve(
     encoding_cache: bool = True,
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
+    mmap_mode: str | None = None,
 ) -> RobustnessCurve:
     """Measure GraphHD accuracy while corrupting its class hypervectors.
 
@@ -129,6 +130,10 @@ def graphhd_robustness_curve(
     encoding_store:
         Optional persistent encoding store for the cached train/test
         encodings (ignored when the model vetoes caching).
+    mmap_mode:
+        ``"r"`` serves store entries as read-only memory-mapped views;
+        corruption only mutates the trained class vectors, never the
+        encodings, so the curve is unchanged.  Ignored without a store.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
@@ -140,10 +145,10 @@ def graphhd_robustness_curve(
         probe = model_factory()
         if supports_encoding_cache(probe):
             train_encodings, _ = dataset_encodings(
-                probe, list(train_graphs), encoding_store
+                probe, list(train_graphs), encoding_store, mmap_mode=mmap_mode
             )
             test_encodings, _ = dataset_encodings(
-                probe, list(test_graphs), encoding_store
+                probe, list(test_graphs), encoding_store, mmap_mode=mmap_mode
             )
 
     # One independent child seed per (fraction, draw), derived up front from

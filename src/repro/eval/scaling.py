@@ -56,6 +56,7 @@ def scaling_experiment(
     encoding_cache: bool = True,
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
+    mmap_mode: str | None = None,
 ) -> list[ScalingPoint]:
     """Run the Figure 4 sweep and return one :class:`ScalingPoint` per size.
 
@@ -89,6 +90,10 @@ def scaling_experiment(
         Optional persistent encoding store shared by all points; repeated
         sweeps (e.g. across backends at the same sizes, or re-runs) load the
         cached encodings instead of re-encoding.
+    mmap_mode:
+        ``"r"`` serves store entries as read-only memory-mapped views (the
+        fit/predict paths only read the encodings, so results are
+        unchanged); ignored without a store.
     """
 
     def run_point(num_vertices: int) -> ScalingPoint:
@@ -116,10 +121,10 @@ def scaling_experiment(
             if encoding_cache and supports_encoding_cache(model):
                 encode_start = time.perf_counter()
                 train_encodings, train_hit = dataset_encodings(
-                    model, train_graphs, encoding_store
+                    model, train_graphs, encoding_store, mmap_mode=mmap_mode
                 )
                 test_encodings, test_hit = dataset_encodings(
-                    model, test_graphs, encoding_store
+                    model, test_graphs, encoding_store, mmap_mode=mmap_mode
                 )
                 point.encode_seconds[method_name] = (
                     time.perf_counter() - encode_start

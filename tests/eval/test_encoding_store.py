@@ -1,10 +1,14 @@
 """Tests for the persistent on-disk encoding store.
 
 Covers the key contract (same configuration hits, any relevant change
-misses), versioned invalidation, corrupted-entry recovery, and atomicity
-under two processes racing on one store path.
+misses), versioned invalidation, corrupted-entry recovery, atomicity under
+two processes racing on one store path, the mmap-able entry format and its
+read-only guarantees, the manifest + LRU/age eviction lifecycle, and legacy
+``.npz`` migration.
 """
 
+import itertools
+import json
 import multiprocessing
 import os
 
@@ -14,7 +18,9 @@ import pytest
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
 from repro.datasets.dataset import GraphDataset, graphs_fingerprint
+from repro.eval.cross_validation import cross_validate
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
+from repro.graphs.graph import Graph
 
 DIMENSION = 256
 
@@ -28,6 +34,24 @@ def make_model(**overrides):
 @pytest.fixture
 def store(tmp_path):
     return EncodingStore(tmp_path / "store")
+
+
+@pytest.fixture
+def ticking_store(tmp_path):
+    """A store whose clock advances one second per call, for LRU tests."""
+    ticks = itertools.count(1)
+    return EncodingStore(tmp_path / "store", clock=lambda: float(next(ticks)))
+
+
+def write_legacy_entry(store, key, encodings):
+    """Write a PR-4-era compressed single-file ``.npz`` entry."""
+    os.makedirs(store.path, exist_ok=True)
+    with open(store._legacy_path(key), "wb") as handle:
+        np.savez_compressed(
+            handle,
+            store_version=np.int64(store.version),
+            encodings=np.asarray(encodings),
+        )
 
 
 class TestFingerprint:
@@ -46,6 +70,37 @@ class TestFingerprint:
     def test_fingerprint_cached_on_dataset(self, two_class_dataset):
         first = two_class_dataset.fingerprint()
         assert two_class_dataset.fingerprint() is first
+
+    def test_numpy_scalar_labels_fingerprint_like_python_scalars(self):
+        # numpy scalar reprs changed between numpy 1.x and 2.x ("1" vs
+        # "np.int64(1)"); labels must be canonicalized so the same dataset
+        # fingerprints identically in both environments (and equals the
+        # python-scalar form, which encodes identically).
+        def build(cast):
+            return Graph(
+                3,
+                [(0, 1), (1, 2)],
+                vertex_labels=[cast(1), cast(2), cast(1)],
+                edge_labels={(0, 1): cast(7), (1, 2): cast(8)},
+                graph_label=cast(0),
+            )
+
+        plain = build(int)
+        numpy_labelled = build(np.int64)
+        assert graphs_fingerprint([plain]) == graphs_fingerprint([numpy_labelled])
+        float_plain = Graph(2, [(0, 1)], graph_label=0.5)
+        float_numpy = Graph(2, [(0, 1)], graph_label=np.float64(0.5))
+        assert graphs_fingerprint([float_plain]) == graphs_fingerprint([float_numpy])
+
+    def test_numpy_scalar_labels_still_distinguish_values(self):
+        one = Graph(2, [(0, 1)], vertex_labels=[np.int64(1), np.int64(1)], graph_label=0)
+        two = Graph(2, [(0, 1)], vertex_labels=[np.int64(1), np.int64(2)], graph_label=0)
+        assert graphs_fingerprint([one]) != graphs_fingerprint([two])
+
+    def test_tuple_labels_with_numpy_scalars_canonicalized(self):
+        nested_plain = Graph(2, [(0, 1)], graph_label=(1, 2))
+        nested_numpy = Graph(2, [(0, 1)], graph_label=(np.int32(1), np.int32(2)))
+        assert graphs_fingerprint([nested_plain]) == graphs_fingerprint([nested_numpy])
 
 
 class TestCacheKeys:
@@ -145,8 +200,8 @@ class TestRecoveryAndMaintenance:
         model = make_model()
         original, _ = dataset_encodings(model, two_class_dataset.graphs, store)
         [key] = store.entries()
-        with open(store._entry_path(key), "wb") as handle:
-            handle.write(b"not an npz archive")
+        with open(store._payload_path(key), "wb") as handle:
+            handle.write(b"not a npy payload")
         recovered, hit = dataset_encodings(
             make_model(), two_class_dataset.graphs, store
         )
@@ -159,12 +214,20 @@ class TestRecoveryAndMaintenance:
     def test_truncated_entry_recovers(self, store, two_class_dataset):
         dataset_encodings(make_model(), two_class_dataset.graphs, store)
         [key] = store.entries()
-        path = store._entry_path(key)
+        path = store._payload_path(key)
         payload = open(path, "rb").read()
         with open(path, "wb") as handle:
             handle.write(payload[: len(payload) // 2])
         assert store.load(key) is None
         assert not os.path.exists(path)
+        assert not os.path.exists(store._sidecar_path(key))
+
+    def test_missing_sidecar_treated_as_corruption(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        [key] = store.entries()
+        os.remove(store._sidecar_path(key))
+        assert store.load(key) is None
+        assert store.entries() == []
 
     def test_clear_removes_entries(self, store, two_class_dataset):
         dataset_encodings(make_model(), two_class_dataset.graphs, store)
@@ -172,13 +235,301 @@ class TestRecoveryAndMaintenance:
             make_model(backend="packed"), two_class_dataset.graphs, store
         )
         assert len(store) == 2
-        assert store.clear() == 2
+        report = store.clear()
+        assert report.entries_removed == 2
+        assert report.temp_files_removed == 0
         assert len(store) == 0
-        assert store.clear() == 0
+        assert store.clear().entries_removed == 0
+
+    def test_clear_counts_temp_files_separately(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        for name in (".tmp-abc.npz", ".tmp-def.npy"):
+            with open(os.path.join(store.path, name), "wb") as handle:
+                handle.write(b"leftover")
+        # Temp leftovers are invisible to entries() and must not inflate the
+        # entries_removed count either (the pre-fix behaviour).
+        assert len(store) == 1
+        report = store.clear()
+        assert report.entries_removed == 1
+        assert report.temp_files_removed == 2
+        assert os.listdir(store.path) == []
+
+    def test_clear_sweeps_orphan_sidecars(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        # The crash window of the sidecar-first write ordering: a sidecar
+        # whose payload never got published.  It is not an entry, but clear
+        # must still leave an empty directory.
+        with open(store._sidecar_path("ee" * 32), "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        assert len(store) == 1
+        assert store.temp_files() == [f"{'ee' * 32}.json"]
+        report = store.clear()
+        assert report.entries_removed == 1
+        assert report.temp_files_removed == 1
+        assert os.listdir(store.path) == []
 
     def test_clear_on_missing_directory(self, tmp_path):
         store = EncodingStore(tmp_path / "never-created")
-        assert store.clear() == 0
+        report = store.clear()
+        assert report.entries_removed == 0
+        assert report.temp_files_removed == 0
+        assert store.entries() == []
+
+
+class TestMmapFormat:
+    def test_save_writes_npy_plus_sidecar(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        [key] = store.entries()
+        assert os.path.exists(store._payload_path(key))
+        assert os.path.exists(store._sidecar_path(key))
+        assert not os.path.exists(store._legacy_path(key))
+        with open(store._sidecar_path(key), "r", encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        assert sidecar["store_version"] == store.version
+        assert sidecar["shape"] == [len(two_class_dataset.graphs), DIMENSION]
+
+    def test_mmap_load_returns_readonly_memory_mapped_view(
+        self, store, two_class_dataset
+    ):
+        model = make_model()
+        original, _ = dataset_encodings(model, two_class_dataset.graphs, store)
+        [key] = store.entries()
+        mapped = store.load(key, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert not mapped.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped[0, 0] = 1
+        assert np.array_equal(np.asarray(mapped), np.asarray(original))
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_mmap_hit_bit_identical_to_in_memory_hit(
+        self, store, two_class_dataset, backend
+    ):
+        dataset_encodings(
+            make_model(backend=backend), two_class_dataset.graphs, store
+        )
+        in_memory, hit_memory = dataset_encodings(
+            make_model(backend=backend), two_class_dataset.graphs, store
+        )
+        mapped, hit_mapped = dataset_encodings(
+            make_model(backend=backend),
+            two_class_dataset.graphs,
+            store,
+            mmap_mode="r",
+        )
+        assert hit_memory and hit_mapped
+        assert mapped.dtype == in_memory.dtype
+        assert np.array_equal(np.asarray(mapped), np.asarray(in_memory))
+
+    def test_hit_and_miss_paths_return_identical_flags(
+        self, store, two_class_dataset
+    ):
+        missed, was_hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        hit, was_hit_second = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        assert not was_hit and was_hit_second
+        assert missed.dtype == hit.dtype
+        assert missed.flags.writeable == hit.flags.writeable == False  # noqa: E712
+        assert np.array_equal(missed, hit)
+
+    def test_mmap_miss_path_matches_hit_path_flags(self, store, two_class_dataset):
+        missed, was_hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store, mmap_mode="r"
+        )
+        hit, was_hit_second = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store, mmap_mode="r"
+        )
+        assert not was_hit and was_hit_second
+        assert isinstance(missed, np.memmap) and isinstance(hit, np.memmap)
+        assert not missed.flags.writeable and not hit.flags.writeable
+        assert np.array_equal(np.asarray(missed), np.asarray(hit))
+
+    def test_storeless_path_stays_writable(self, two_class_dataset):
+        encodings, hit = dataset_encodings(make_model(), two_class_dataset.graphs, None)
+        assert not hit
+        assert encodings.flags.writeable
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_cross_validate_mmap_equivalent_under_workers(
+        self, tmp_path, two_class_dataset, backend
+    ):
+        def factory():
+            return make_model(backend=backend)
+
+        def run(mmap_mode, store_dir):
+            return cross_validate(
+                factory,
+                two_class_dataset,
+                n_splits=3,
+                repetitions=1,
+                seed=0,
+                n_jobs=2,
+                encoding_store=EncodingStore(store_dir),
+                mmap_mode=mmap_mode,
+            )
+
+        baseline = cross_validate(
+            factory, two_class_dataset, n_splits=3, repetitions=1, seed=0
+        )
+        in_memory = run(None, tmp_path / "store-a")
+        mapped_cold = run("r", tmp_path / "store-b")
+        mapped_warm = run("r", tmp_path / "store-b")
+        assert mapped_warm.encoding_store_hit
+        for result in (in_memory, mapped_cold, mapped_warm):
+            assert [fold.accuracy for fold in result.folds] == [
+                fold.accuracy for fold in baseline.folds
+            ]
+            assert [fold.test_indices for fold in result.folds] == [
+                fold.test_indices for fold in baseline.folds
+            ]
+
+
+class TestLifecycle:
+    def test_manifest_tracks_size_and_recency(self, ticking_store, two_class_dataset):
+        store = ticking_store
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        [key] = store.entries()
+        manifest = store.manifest()
+        info = manifest[key]
+        assert info.size_bytes == sum(
+            os.path.getsize(path)
+            for path in (store._payload_path(key), store._sidecar_path(key))
+        )
+        assert info.format == "npy"
+        before = info.last_access_at
+        store.load(key)
+        assert store.manifest()[key].last_access_at > before
+        assert store.manifest()[key].created_at == info.created_at
+
+    def test_manifest_rebuilds_after_deletion(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        os.remove(os.path.join(store.path, "manifest.json"))
+        [key] = store.entries()
+        manifest = store.manifest()
+        assert key in manifest
+        assert manifest[key].size_bytes > 0
+
+    def test_prune_max_bytes_evicts_in_lru_order(self, ticking_store):
+        store = ticking_store
+        payload = np.ones((64, DIMENSION), dtype=np.int8)
+        for key in ("aa" * 32, "bb" * 32, "cc" * 32):
+            store.save(key, payload)
+        # Touch the oldest entry so it becomes the most recently used.
+        store.load("aa" * 32)
+        bound = store.total_bytes() - 1  # forces exactly one eviction
+        report = store.prune(max_bytes=bound)
+        # LRU order after the touch is bb (oldest), cc, aa; one must go.
+        assert report.removed_keys == ["bb" * 32]
+        assert report.entries_removed == 1
+        assert report.bytes_freed > 0
+        assert sorted(store.entries()) == sorted(["aa" * 32, "cc" * 32])
+        assert report.bytes_remaining <= bound
+
+    def test_prune_max_bytes_zero_empties_store(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        report = store.prune(max_bytes=0)
+        assert report.entries_removed == 1
+        assert report.entries_remaining == 0
+        assert store.entries() == []
+
+    def test_prune_max_age_drops_stale_entries(self, ticking_store):
+        store = ticking_store
+        payload = np.ones((8, DIMENSION), dtype=np.int8)
+        store.save("aa" * 32, payload)  # early ticks
+        for _ in range(30):
+            store._clock()  # advance time well past the first entry
+        store.save("bb" * 32, payload)
+        report = store.prune(max_age=10.0)
+        assert report.removed_keys == ["aa" * 32]
+        assert store.entries() == ["bb" * 32]
+
+    def test_prune_rejects_unknown_policy(self, store):
+        with pytest.raises(ValueError, match="policy"):
+            store.prune(max_bytes=0, policy="fifo")
+
+    def test_prune_without_bounds_is_a_no_op(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        report = store.prune()
+        assert report.entries_removed == 0
+        assert len(store) == 1
+
+    def test_pruned_entry_repopulates_on_next_run(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        store.prune(max_bytes=0)
+        encodings, hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        assert not hit
+        assert len(store) == 1
+        _, rehit = dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        assert rehit
+
+    def test_stats_reports_totals(self, store, two_class_dataset):
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        stats = store.stats
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == store.total_bytes() > 0
+        assert stats["legacy_entries"] == 0
+        assert stats["temp_files"] == 0
+
+
+class TestLegacyMigration:
+    def test_legacy_npz_entry_loads_without_reencoding(
+        self, store, two_class_dataset
+    ):
+        model = make_model()
+        encodings = model.encode(two_class_dataset.graphs)
+        key = store.key(
+            model.encoding_store_token, graphs_fingerprint(two_class_dataset.graphs)
+        )
+        write_legacy_entry(store, key, encodings)
+        loaded, hit = dataset_encodings(
+            make_model(), two_class_dataset.graphs, store
+        )
+        assert hit
+        assert not loaded.flags.writeable
+        assert np.array_equal(loaded, encodings)
+
+    def test_migrate_rewrites_legacy_entries_in_place(
+        self, store, two_class_dataset
+    ):
+        model = make_model()
+        encodings = model.encode(two_class_dataset.graphs)
+        key = store.key(
+            model.encoding_store_token, graphs_fingerprint(two_class_dataset.graphs)
+        )
+        write_legacy_entry(store, key, encodings)
+        assert store.stats["legacy_entries"] == 1
+        assert store.migrate() == 1
+        assert store.stats["legacy_entries"] == 0
+        assert not os.path.exists(store._legacy_path(key))
+        mapped = store.load(key, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(np.asarray(mapped), encodings)
+
+    def test_mmap_load_of_legacy_entry_migrates_on_demand(
+        self, store, two_class_dataset
+    ):
+        model = make_model()
+        encodings = model.encode(two_class_dataset.graphs)
+        key = store.key(
+            model.encoding_store_token, graphs_fingerprint(two_class_dataset.graphs)
+        )
+        write_legacy_entry(store, key, encodings)
+        mapped = store.load(key, mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(np.asarray(mapped), encodings)
+        assert not os.path.exists(store._legacy_path(key))
+        assert os.path.exists(store._payload_path(key))
+
+    def test_corrupt_legacy_entry_dropped_by_migrate(self, store):
+        os.makedirs(store.path, exist_ok=True)
+        with open(store._legacy_path("dd" * 32), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.migrate() == 0
         assert store.entries() == []
 
 

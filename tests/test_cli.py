@@ -66,6 +66,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["quickstart", "--clear-encoding-store"])
 
+    def test_encoding_store_mmap_flag_parses(self):
+        for command in ("quickstart", "compare", "scaling", "robustness"):
+            args = build_parser().parse_args([command])
+            assert args.encoding_store_mmap is False
+        args = build_parser().parse_args(["quickstart", "--encoding-store-mmap"])
+        assert args.encoding_store_mmap is True
+
+    def test_store_subcommand_parses(self):
+        args = build_parser().parse_args(["store", "stats", "/tmp/store"])
+        assert args.command == "store"
+        assert args.store_action == "stats"
+        assert args.path == "/tmp/store"
+        args = build_parser().parse_args(
+            ["store", "prune", "/tmp/store", "--max-bytes", "100", "--max-age", "3.5"]
+        )
+        assert args.max_bytes == 100
+        assert args.max_age == 3.5
+        assert args.policy == "lru"
+
+    def test_store_subcommand_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -271,6 +294,134 @@ class TestCommands:
         assert "encoding store" not in output
         # The paper's timing protocol re-encodes per fold; nothing persisted.
         assert not os.path.isdir(store_path) or os.listdir(store_path) == []
+
+    def test_no_encoding_cache_with_clear_still_clears_store(self, capsys, tmp_path):
+        import os
+
+        store_path = str(tmp_path / "store")
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--encoding-store",
+            store_path,
+        ]
+        assert main(quickstart) == 0
+        capsys.readouterr()
+        assert os.listdir(store_path) != []
+        # --no-encoding-cache disables the store for the run itself, but the
+        # docstring promises --clear-encoding-store still clears the
+        # directory — and the clear report must count real entries only.
+        assert main(
+            quickstart + ["--no-encoding-cache", "--clear-encoding-store"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert f"cleared encoding store {store_path}: 1 entries, 0 temp files" in output
+        assert os.listdir(store_path) == []
+
+    def test_quickstart_mmap_store_hits(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--encoding-store",
+            store_path,
+            "--encoding-store-mmap",
+        ]
+        assert main(quickstart) == 0
+        first = capsys.readouterr().out
+        assert "misses=1" in first
+        assert main(quickstart) == 0
+        second = capsys.readouterr().out
+        assert "hits=1" in second
+        # The two runs must report identical accuracies: mmap-backed
+        # encodings are bit-identical to freshly computed ones.
+        pick = lambda text: [
+            line for line in text.splitlines() if "accuracy" in line
+        ]
+        assert pick(first) == pick(second)
+
+    def test_store_lifecycle_commands(self, capsys, tmp_path):
+        import os
+
+        store_path = str(tmp_path / "store")
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--encoding-store",
+            store_path,
+        ]
+        assert main(quickstart) == 0
+        capsys.readouterr()
+
+        assert main(["store", "stats", store_path]) == 0
+        stats_output = capsys.readouterr().out
+        assert "entries" in stats_output and "total bytes" in stats_output
+
+        assert main(["store", "list", store_path]) == 0
+        list_output = capsys.readouterr().out
+        assert "npy" in list_output
+
+        assert main(["store", "prune", store_path, "--max-bytes", "0"]) == 0
+        prune_output = capsys.readouterr().out
+        assert "removed 1 entries" in prune_output
+        assert [
+            name
+            for name in os.listdir(store_path)
+            if name.endswith((".npy", ".npz"))
+        ] == []
+
+        # A pruned store repopulates on the next run.
+        assert main(quickstart) == 0
+        assert "misses=1" in capsys.readouterr().out
+
+        assert main(["store", "clear", store_path]) == 0
+        clear_output = capsys.readouterr().out
+        assert "1 entries, 0 temp files" in clear_output
+
+    def test_store_prune_requires_a_bound(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", str(tmp_path / "store")])
+
+    def test_store_migrate_command(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.eval.encoding_store import EncodingStore
+
+        store = EncodingStore(tmp_path / "store")
+        import os
+
+        os.makedirs(store.path, exist_ok=True)
+        with open(store._legacy_path("ab" * 32), "wb") as handle:
+            np.savez_compressed(
+                handle,
+                store_version=np.int64(store.version),
+                encodings=np.ones((4, 16), dtype=np.int8),
+            )
+        assert main(["store", "migrate", str(store.path)]) == 0
+        assert "1 legacy entries" in capsys.readouterr().out
+        assert os.path.exists(store._payload_path("ab" * 32))
+        assert not os.path.exists(store._legacy_path("ab" * 32))
 
     def test_compare_with_store_and_n_jobs(self, capsys, tmp_path):
         store_path = str(tmp_path / "store")
