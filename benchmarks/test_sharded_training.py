@@ -1,0 +1,150 @@
+"""Sharded map-reduce training benchmark (perf trajectory).
+
+Measures how shard-and-merge training scales with the shard count and merges
+the numbers into ``BENCH_encoding.json`` under the ``sharded_training`` key,
+so the trajectory is tracked across PRs alongside the encoding and
+fold-parallel measurements.
+
+Two sweeps, both asserted bit-identical to single-shot ``fit``:
+
+* **Shard-count scaling** — ``fit_sharded`` with k in {1, 2, 4, 8} shards
+  over ``n_jobs=4`` worker processes, each shard encoding its own slice (the
+  cold, embarrassingly parallel workload).
+* **Merge cost** — the pure reduce step (``merge_states`` over the shard
+  states), which must stay negligible next to the map step for the
+  map-reduce decomposition to pay off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import print_report
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.datasets.synthetic import make_benchmark_dataset
+from repro.eval.parallel import parallelism_available, usable_cores
+from repro.eval.reporting import render_table
+from repro.eval.sharded import fit_sharded
+from repro.hdc.training_state import merge_states
+
+DIMENSION = 10_000
+N_JOBS = 4
+SHARD_COUNTS = (1, 2, 4, 8)
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_encoding.json"
+)
+
+_RESULTS: dict = {}
+
+
+def _num_graphs(profile) -> int:
+    # Sized so each shard encodes enough graphs to amortize pool startup.
+    return 4000 if profile.name == "full" else 1200
+
+
+def _flush_results() -> None:
+    """Merge this module's measurements into the shared benchmark file."""
+    path = os.path.abspath(BENCH_FILE)
+    payload: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload["sharded_training"] = {
+        "generated_by": "benchmarks/test_sharded_training.py",
+        "dimension": DIMENSION,
+        **_RESULTS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _assert_identical(model, reference):
+    assert model.classes == reference.classes
+    for label in reference.classes:
+        assert np.array_equal(
+            model.classifier.memory._accumulators[label],
+            reference.classifier.memory._accumulators[label],
+        )
+
+
+def test_shard_count_scaling(profile):
+    """Cold sharded fit for k in {1, 2, 4, 8}: wall time vs. single-shot."""
+    dataset = make_benchmark_dataset(
+        "MUTAG", scale=_num_graphs(profile) / 188, seed=profile.seed
+    )
+    graphs, labels = dataset.graphs, dataset.labels
+
+    def factory():
+        return GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=profile.seed)
+        )
+
+    start = time.perf_counter()
+    single = factory().fit(graphs, labels)
+    single_seconds = time.perf_counter() - start
+
+    cores = usable_cores()
+    rows = [["single-shot fit", "-", f"{single_seconds:.3f}", "1.0x"]]
+    sweep = {}
+    shard_states = None
+    for n_shards in SHARD_COUNTS:
+        start = time.perf_counter()
+        result = fit_sharded(factory, graphs, labels, n_shards=n_shards, n_jobs=N_JOBS)
+        elapsed = time.perf_counter() - start
+        _assert_identical(result.model, single)
+        speedup = single_seconds / elapsed
+        sweep[str(n_shards)] = {
+            "seconds": round(elapsed, 4),
+            "speedup_vs_single_shot": round(speedup, 2),
+        }
+        rows.append(
+            [f"fit_sharded (k={n_shards})", n_shards, f"{elapsed:.3f}", f"{speedup:.2f}x"]
+        )
+        if n_shards == max(SHARD_COUNTS):
+            shard_states = result.shard_states
+
+    # The pure reduce step over the widest sharding.
+    start = time.perf_counter()
+    merged = merge_states(shard_states)
+    merge_seconds = time.perf_counter() - start
+    assert merged.num_samples == len(graphs)
+    rows.append(
+        [f"merge_states (k={max(SHARD_COUNTS)})", max(SHARD_COUNTS), f"{merge_seconds:.3f}", "-"]
+    )
+
+    _RESULTS.update(
+        {
+            "num_graphs": len(dataset),
+            "n_jobs": N_JOBS,
+            "usable_cores": cores,
+            "single_shot_seconds": round(single_seconds, 4),
+            "merge_seconds": round(merge_seconds, 4),
+            "shards": sweep,
+            "identical_results": True,
+        }
+    )
+    _flush_results()
+    print_report(
+        f"Sharded map-reduce training: {len(dataset)} graphs, d={DIMENSION}, "
+        f"n_jobs={N_JOBS}, {cores} usable cores",
+        render_table(["configuration", "shards", "seconds", "speedup"], rows),
+    )
+    # The reduce step must stay negligible: merging k int64 accumulator sets
+    # is microseconds next to encoding thousands of graphs.
+    assert merge_seconds < single_seconds / 10
+    if cores >= N_JOBS and parallelism_available():
+        best = max(value["speedup_vs_single_shot"] for value in sweep.values())
+        assert best >= 1.5, (
+            f"expected sharded training to beat single-shot on {cores} cores, "
+            f"best measured speedup {best:.2f}x"
+        )

@@ -10,6 +10,9 @@ without writing code::
     python -m repro.cli datasets
     python -m repro.cli store stats .encoding-store
     python -m repro.cli store prune .encoding-store --max-bytes 100000000
+    python -m repro.cli train shard --dataset MUTAG --shard-index 0 --num-shards 2 --output s0.npz
+    python -m repro.cli train merge s0.npz s1.npz --output model.npz
+    python -m repro.cli train info s0.npz
 
 Every sub-command prints plain-text tables (the same renderer the benchmark
 harness uses) and returns a zero exit code on success.
@@ -29,7 +32,9 @@ from repro.datasets.registry import available_datasets, load_dataset
 from repro.datasets.splits import train_test_split
 from repro.eval.comparison import compare_methods
 from repro.eval.cross_validation import cross_validate
-from repro.eval.encoding_store import EncodingStore
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
+from repro.eval.sharded import shard_indices
+from repro.hdc.training_state import TrainingState, merge_states
 from repro.eval.methods import METHOD_NAMES
 from repro.eval.parallel import ENV_N_JOBS
 from repro.eval.reporting import render_figure3, render_series, render_table
@@ -260,6 +265,68 @@ def _add_store_parser(subparsers) -> None:
         action_parser.add_argument("path", help="encoding store directory")
 
 
+def _add_train_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train",
+        help="sharded map-reduce training: accumulate shard states, merge "
+        "them into a model (bit-identical to single-shot training)",
+    )
+    actions = parser.add_subparsers(dest="train_action", required=True)
+
+    shard_parser = actions.add_parser(
+        "shard",
+        help="train one shard of a dataset into a mergeable TrainingState",
+    )
+    shard_parser.add_argument("--dataset", default="MUTAG", help="benchmark dataset name")
+    shard_parser.add_argument(
+        "--scale", type=float, default=0.5, help="dataset subsample fraction"
+    )
+    shard_parser.add_argument(
+        "--dimension", type=int, default=10_000, help="hypervector dimensionality"
+    )
+    shard_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="basis seed; shards merge only when trained with the same seed",
+    )
+    shard_parser.add_argument(
+        "--shard-index", type=int, required=True, help="which shard to train (0-based)"
+    )
+    shard_parser.add_argument(
+        "--num-shards", type=int, required=True, help="total number of shards"
+    )
+    shard_parser.add_argument(
+        "--output", required=True, help="path of the .npz training-state file to write"
+    )
+    _add_backend_argument(shard_parser)
+    _add_parallel_arguments(shard_parser)
+
+    merge_parser = actions.add_parser(
+        "merge",
+        help="merge shard TrainingStates and save the resulting model",
+    )
+    merge_parser.add_argument(
+        "states", nargs="+", help="shard .npz training-state files, in shard order"
+    )
+    merge_parser.add_argument(
+        "--output", required=True, help="path of the model .npz archive to write"
+    )
+    merge_parser.add_argument(
+        "--state-output",
+        default=None,
+        help="optionally also save the merged TrainingState itself",
+    )
+    merge_parser.add_argument(
+        "--metric", default="cosine", help="similarity metric of the saved model"
+    )
+
+    info_parser = actions.add_parser(
+        "info", help="summarize a saved TrainingState file"
+    )
+    info_parser.add_argument("path", help=".npz training-state file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser for ``python -m repro.cli``."""
     parser = argparse.ArgumentParser(
@@ -273,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_parser(subparsers)
     _add_datasets_parser(subparsers)
     _add_store_parser(subparsers)
+    _add_train_parser(subparsers)
     return parser
 
 
@@ -521,6 +589,118 @@ def run_store(args) -> str:
     raise ValueError(f"unknown store action {args.store_action!r}")
 
 
+def _run_train_shard(args) -> str:
+    if args.num_shards < 1:
+        raise SystemExit(
+            f"repro train shard: --num-shards must be positive, got {args.num_shards}"
+        )
+    if not 0 <= args.shard_index < args.num_shards:
+        raise SystemExit(
+            f"repro train shard: --shard-index must be in [0, {args.num_shards}), "
+            f"got {args.shard_index}"
+        )
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    store, preamble = _encoding_store_from_args(args)
+    model = GraphHDClassifier(
+        GraphHDConfig(dimension=args.dimension, seed=args.seed, backend=args.backend)
+    )
+    block = shard_indices(len(dataset), args.num_shards)[args.shard_index]
+    if block.size == 0:
+        raise SystemExit(
+            f"repro train shard: shard {args.shard_index} of {args.num_shards} is "
+            f"empty ({len(dataset)} graphs); use fewer shards"
+        )
+    labels = [dataset.labels[i] for i in block]
+    if store is not None:
+        # Encode the whole dataset through the persistent store, so every
+        # shard process shares one cached entry instead of re-encoding.
+        encodings, _ = dataset_encodings(
+            model,
+            dataset.graphs,
+            store,
+            fingerprint=dataset.fingerprint(),
+            mmap_mode=_mmap_mode_from_args(args),
+        )
+        state = model.fit_state_encoded(encodings[block], labels)
+    else:
+        state = model.fit_state([dataset.graphs[i] for i in block], labels)
+    state.save(args.output)
+    rows = [
+        ["dataset", dataset.name],
+        ["shard", f"{args.shard_index + 1}/{args.num_shards}"],
+        ["graphs in shard", int(block.size)],
+        ["classes in shard", len(state.classes)],
+        ["dimension", state.dimension],
+        ["backend", state.backend.name],
+        ["state file", args.output],
+    ]
+    return (
+        preamble
+        + render_table(["field", "value"], rows, title="Trained shard state")
+        + _store_summary(store)
+    )
+
+
+def _run_train_merge(args) -> str:
+    states = [TrainingState.load(path) for path in args.states]
+    merged = merge_states(states)
+    context = merged.context
+    if context is None or context.get("encoder") != "GraphHDEncoder":
+        raise SystemExit(
+            "repro train merge: the merged state carries no GraphHDEncoder "
+            "context, so the model configuration cannot be reconstructed; "
+            "merge states produced by `repro train shard` or "
+            "GraphHDClassifier.fit_state"
+        )
+    model = GraphHDClassifier(GraphHDConfig(**context["config"]), metric=args.metric)
+    model.fit_from_state(merged)
+    model.save(args.output)
+    if args.state_output is not None:
+        merged.save(args.state_output)
+    rows = [
+        ["shards merged", len(states)],
+        ["classes", len(merged.classes)],
+        ["training samples", merged.num_samples],
+        ["dimension", merged.dimension],
+        ["backend", merged.backend.name],
+        ["model file", args.output],
+    ]
+    if args.state_output is not None:
+        rows.append(["merged state file", args.state_output])
+    return render_table(["field", "value"], rows, title="Merged sharded model")
+
+
+def _run_train_info(args) -> str:
+    state = TrainingState.load(args.path)
+    context = state.context or {}
+    config = context.get("config", {})
+    rows = [
+        ["dimension", state.dimension],
+        ["backend", state.backend.name],
+        ["classes", len(state.classes)],
+        ["training samples", state.num_samples],
+        ["encoder", context.get("encoder", "-")],
+        ["seed", config.get("seed", "-")],
+        ["centrality", config.get("centrality", "-")],
+    ]
+    rows += [
+        [f"count[{label!r}]", state.count(label)] for label in state.classes
+    ]
+    return render_table(
+        ["field", "value"], rows, title=f"TrainingState {args.path}"
+    )
+
+
+def run_train(args) -> str:
+    if args.train_action == "shard":
+        return _run_train_shard(args)
+    if args.train_action == "merge":
+        return _run_train_merge(args)
+    if args.train_action == "info":
+        return _run_train_info(args)
+    raise ValueError(f"unknown train action {args.train_action!r}")
+
+
 _COMMANDS = {
     "quickstart": run_quickstart,
     "compare": run_compare,
@@ -528,6 +708,7 @@ _COMMANDS = {
     "robustness": run_robustness,
     "datasets": run_datasets,
     "store": run_store,
+    "train": run_train,
 }
 
 

@@ -36,6 +36,7 @@ from repro.hdc.classifier import (
     label_class_indices,
 )
 from repro.hdc.item_memory import ItemMemory
+from repro.hdc.training_state import MergeError, TrainingState
 
 
 class RetrainedGraphHDClassifier(GraphHDClassifier):
@@ -153,13 +154,13 @@ class MultiCentroidGraphHDClassifier:
 
     def _cluster_class(
         self, encodings: np.ndarray, rng: np.random.Generator
-    ) -> list[np.ndarray]:
-        """Split one class's encodings into sub-centroid accumulators."""
+    ) -> list[tuple[np.ndarray, int]]:
+        """Split one class's encodings into ``(accumulator, count)`` sub-centroids."""
         count = encodings.shape[0]
         dimension = self.config.dimension
         clusters = min(self.centroids_per_class, count)
         if clusters <= 1:
-            return [self.backend.accumulate(encodings, dimension)]
+            return [(self.backend.accumulate(encodings, dimension), count)]
 
         # Initialize assignments round-robin, then refine by nearest centroid.
         assignment = np.arange(count) % clusters
@@ -181,7 +182,10 @@ class MultiCentroidGraphHDClassifier:
                 break
             assignment = new_assignment
         return [
-            self.backend.accumulate(encodings[assignment == cluster], dimension)
+            (
+                self.backend.accumulate(encodings[assignment == cluster], dimension),
+                int(np.count_nonzero(assignment == cluster)),
+            )
             for cluster in range(clusters)
             if np.any(assignment == cluster)
         ]
@@ -202,12 +206,32 @@ class MultiCentroidGraphHDClassifier:
             raise ValueError("cannot fit on an empty training set")
         return self.fit_encoded(self.encoder.encode_many(graphs), labels)
 
-    def fit_encoded(
+    def _state_context(self) -> dict:
+        """Merge-compatibility identity, marking the multi-centroid layout."""
+        return {
+            "encoder": type(self.encoder).__name__,
+            "config": dataclasses.asdict(self.config),
+            "multi_centroid": {
+                "centroids_per_class": self.centroids_per_class,
+                "refinement_rounds": self.refinement_rounds,
+                "seed": self.seed,
+            },
+        }
+
+    def fit_state_encoded(
         self,
         encodings: Sequence[np.ndarray] | np.ndarray,
         labels: Sequence[Hashable],
-    ) -> "MultiCentroidGraphHDClassifier":
-        """Build per-class sub-centroids from pre-encoded graphs."""
+    ) -> TrainingState:
+        """Cluster pre-encoded graphs into a sub-centroid training state.
+
+        The state's classes are composite ``(label, cluster_index)`` keys, one
+        per sub-centroid.  Unlike plain GraphHD training, clustering is *not*
+        a monoid: merging two multi-centroid states sums sub-centroids
+        index-wise rather than re-clustering jointly, so shard-and-merge is
+        deterministic but not bit-identical to single-shot ``fit``.  The state
+        is primarily for checkpoint/resume and the unified train/merge API.
+        """
         encodings = np.asarray(encodings)
         labels = list(labels)
         if encodings.shape[0] != len(labels):
@@ -217,16 +241,53 @@ class MultiCentroidGraphHDClassifier:
         rng = np.random.default_rng(self.seed)
         class_labels, class_ids = label_class_indices(labels)
 
-        centroids: list[np.ndarray] = []
-        centroid_classes: list[Hashable] = []
+        state = TrainingState(self.config.dimension, backend=self.backend)
         for index, label in enumerate(class_labels):
             class_encodings = encodings[class_ids == index]
-            for accumulator in self._cluster_class(class_encodings, rng):
-                centroids.append(accumulator)
-                centroid_classes.append(label)
+            for cluster, (accumulator, count) in enumerate(
+                self._cluster_class(class_encodings, rng)
+            ):
+                state.add_accumulator((label, cluster), accumulator, count)
+        state.context = self._state_context()
+        return state
+
+    def fit_state(
+        self, graphs: Sequence[Graph], labels: Sequence[Hashable]
+    ) -> TrainingState:
+        """Encode graphs and cluster them into a sub-centroid training state."""
+        return self.fit_state_encoded(self.encoder.encode_many(list(graphs)), labels)
+
+    def fit_from_state(self, state: TrainingState) -> "MultiCentroidGraphHDClassifier":
+        """Install a sub-centroid training state produced by :meth:`fit_state`.
+
+        Raises :class:`~repro.hdc.training_state.MergeError` when the state
+        was produced under a different encoder config or centroid layout.
+        """
+        expected = self._state_context()
+        if state.context is not None and state.context != expected:
+            raise MergeError(
+                "training state is not compatible with this classifier: "
+                f"expected context {expected!r}, found {state.context!r}"
+            )
+        centroids: list[np.ndarray] = []
+        centroid_classes: list[Hashable] = []
+        for key in state.classes:
+            label, _cluster = key
+            centroids.append(state.accumulator(key))
+            centroid_classes.append(label)
+        if not centroids:
+            raise ValueError("cannot fit from an empty training state")
         self._centroids = np.stack(centroids)
         self._centroid_classes = centroid_classes
         return self
+
+    def fit_encoded(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> "MultiCentroidGraphHDClassifier":
+        """Build per-class sub-centroids from pre-encoded graphs."""
+        return self.fit_from_state(self.fit_state_encoded(encodings, labels))
 
     def predict(self, graphs: Sequence[Graph]) -> list[Hashable]:
         """Predict the class owning the most similar sub-centroid."""

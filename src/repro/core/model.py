@@ -18,18 +18,8 @@ import numpy as np
 from repro.core.encoding import GraphHDConfig, GraphHDEncoder
 from repro.graphs.graph import Graph
 from repro.hdc.classifier import CentroidClassifier
-
-
-def _object_vector(items: Sequence) -> np.ndarray:
-    """A 1-D object array of ``items``.
-
-    ``np.array(items, dtype=object)`` would broadcast equal-length sequence
-    items (e.g. tuple labels) into a 2-D array, corrupting them on reload;
-    pre-allocating the 1-D shape keeps every item intact.
-    """
-    vector = np.empty(len(items), dtype=object)
-    vector[:] = items
-    return vector
+from repro.hdc.training_state import MergeError, TrainingState
+from repro.hdc.training_state import object_vector as _object_vector
 
 
 @dataclass
@@ -78,8 +68,31 @@ class GraphHDClassifier:
         self.timings = GraphHDTimings()
 
     # ------------------------------------------------------------------ train
-    def fit(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> "GraphHDClassifier":
-        """Train class hypervectors from labelled graphs (Algorithm 1)."""
+    def _state_context(self) -> dict:
+        """Merge-compatibility identity stamped onto every exported state.
+
+        Covers the encoder class and the *full* configuration, so two
+        training states only merge when their encodings live in the same
+        vector space (same basis seed, centrality, dimension, backend, ...).
+        """
+        return {
+            "encoder": type(self.encoder).__name__,
+            "config": asdict(self.config),
+        }
+
+    def fit_state(
+        self, graphs: Sequence[Graph], labels: Sequence[Hashable]
+    ) -> TrainingState:
+        """Encode and accumulate labelled graphs into a mergeable state.
+
+        The map half of sharded map-reduce training: the returned
+        :class:`TrainingState` does not touch this model's class vectors —
+        install it (or a merge of several shard states) with
+        :meth:`fit_from_state`.  The state is stamped with this model's
+        encoder context, so merging states from differently configured
+        encoders raises :class:`~repro.hdc.training_state.MergeError`.
+        ``timings`` records the encode/accumulate decomposition of this call.
+        """
         graphs = list(graphs)
         labels = list(labels)
         if len(graphs) != len(labels):
@@ -90,12 +103,90 @@ class GraphHDClassifier:
         encode_start = time.perf_counter()
         encodings = self.encoder.encode_many(graphs)
         encode_end = time.perf_counter()
-        self.classifier.fit(encodings, labels)
+        state = self.classifier.fit_state(encodings, labels)
+        state.context = self._state_context()
         train_end = time.perf_counter()
 
         self.timings.encoding_seconds = encode_end - encode_start
         self.timings.accumulation_seconds = train_end - encode_end
         self.timings.training_seconds = train_end - encode_start
+        return state
+
+    def fit_state_encoded(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> TrainingState:
+        """Accumulate pre-encoded graphs into a mergeable state.
+
+        Counterpart of :meth:`fit_state` for callers holding cached
+        encodings (the evaluation harness, the sharded driver with an
+        encoding store).  The encodings must come from an encoder with this
+        model's configuration.
+        """
+        encodings = np.asarray(encodings)
+        labels = list(labels)
+        if encodings.shape[0] != len(labels):
+            raise ValueError("encodings and labels must have the same length")
+        if not labels:
+            raise ValueError("cannot fit on an empty training set")
+
+        train_start = time.perf_counter()
+        state = self.classifier.fit_state(encodings, labels)
+        state.context = self._state_context()
+        train_end = time.perf_counter()
+
+        self.timings.encoding_seconds = 0.0
+        self.timings.accumulation_seconds = train_end - train_start
+        self.timings.training_seconds = train_end - train_start
+        return state
+
+    def fit_from_state(self, state: TrainingState) -> "GraphHDClassifier":
+        """Merge a training state's class vectors into this model.
+
+        The reduce half of map-reduce training, and the resume primitive for
+        continual ingestion: a freshly constructed (or loaded) model absorbs
+        any compatible state.  Raises
+        :class:`~repro.hdc.training_state.MergeError` when the state was
+        produced by a differently configured encoder (or on dimension /
+        backend mismatch).  The merge cost is added onto the accumulation
+        timing fields.
+        """
+        expected = self._state_context()
+        if state.context is not None and state.context != expected:
+            raise MergeError(
+                "training state was produced by a differently configured "
+                f"encoder: expected context {expected!r}, found "
+                f"{state.context!r}"
+            )
+        start = time.perf_counter()
+        self.classifier.fit_from_state(state)
+        elapsed = time.perf_counter() - start
+        self.timings.accumulation_seconds += elapsed
+        self.timings.training_seconds += elapsed
+        return self
+
+    def export_state(self) -> TrainingState:
+        """A deep copy of this model's training state, context-stamped.
+
+        The exported state is independent of the model (merging or
+        accumulating into it never mutates these class vectors) and carries
+        the encoder context, so it can be saved, shipped and merged by
+        :class:`~repro.eval.sharded` drivers or a compatible model's
+        :meth:`fit_from_state`.
+        """
+        state = self.classifier.memory.export_state()
+        state.context = self._state_context()
+        return state
+
+    def fit(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> "GraphHDClassifier":
+        """Train class hypervectors from labelled graphs (Algorithm 1)."""
+        state = self.fit_state(graphs, labels)
+        merge_start = time.perf_counter()
+        self.classifier.fit_from_state(state)
+        merge_seconds = time.perf_counter() - merge_start
+        self.timings.accumulation_seconds += merge_seconds
+        self.timings.training_seconds += merge_seconds
         return self
 
     def fit_encoded(
@@ -113,20 +204,12 @@ class GraphHDClassifier:
         class vectors that :meth:`fit` would.  ``timings`` records the pure
         accumulation cost (``encoding_seconds`` stays 0).
         """
-        encodings = np.asarray(encodings)
-        labels = list(labels)
-        if encodings.shape[0] != len(labels):
-            raise ValueError("encodings and labels must have the same length")
-        if not labels:
-            raise ValueError("cannot fit on an empty training set")
-
-        train_start = time.perf_counter()
-        self.classifier.fit(encodings, labels)
-        train_end = time.perf_counter()
-
-        self.timings.encoding_seconds = 0.0
-        self.timings.accumulation_seconds = train_end - train_start
-        self.timings.training_seconds = train_end - train_start
+        state = self.fit_state_encoded(encodings, labels)
+        merge_start = time.perf_counter()
+        self.classifier.fit_from_state(state)
+        merge_seconds = time.perf_counter() - merge_start
+        self.timings.accumulation_seconds += merge_seconds
+        self.timings.training_seconds += merge_seconds
         return self
 
     def partial_fit(self, graph: Graph, label: Hashable) -> None:
@@ -135,10 +218,29 @@ class GraphHDClassifier:
         The per-sample encoding and accumulation costs are added onto the
         corresponding timing fields.
         """
+        self.partial_fit_many([graph], [label])
+
+    def partial_fit_many(
+        self, graphs: Sequence[Graph], labels: Sequence[Hashable]
+    ) -> None:
+        """Online update with a batch of labelled graphs.
+
+        Batched counterpart of :meth:`partial_fit` — identical class vectors
+        (integer accumulation commutes), but the batch pays the flat-batch
+        encoder and the segmented accumulation kernel once.  The batch costs
+        are added onto the corresponding timing fields.
+        """
+        graphs = list(graphs)
+        labels = list(labels)
+        if len(graphs) != len(labels):
+            raise ValueError("graphs and labels must have the same length")
+        if not graphs:
+            return
+
         encode_start = time.perf_counter()
-        encoding = self.encoder.encode(graph)
+        encodings = self.encoder.encode_many(graphs)
         encode_end = time.perf_counter()
-        self.classifier.partial_fit(encoding, label)
+        self.classifier.partial_fit_many(encodings, labels)
         train_end = time.perf_counter()
 
         self.timings.encoding_seconds += encode_end - encode_start
@@ -240,38 +342,35 @@ class GraphHDClassifier:
         return correct / len(labels)
 
     # ------------------------------------------------------------ persistence
-    #: On-disk format version written by :meth:`save`.
-    PERSISTENCE_FORMAT_VERSION = 1
+    #: On-disk format version written by :meth:`save`.  Version 2 embeds the
+    #: full :class:`TrainingState` (context-stamped), so a loaded model can
+    #: keep training — ``partial_fit`` and ``fit_from_state`` merges resume
+    #: exactly.  Version 1 files (pre-TrainingState) still load.
+    PERSISTENCE_FORMAT_VERSION = 2
 
     def save(self, path) -> None:
         """Serialize the trained model to an ``.npz`` archive.
 
         The archive round-trips everything needed to reproduce this model's
-        predictions exactly: the configuration (including the backend choice),
-        the similarity metric, the materialized item-memory entries together
-        with the generator state that produces any *future* entries, the
-        deterministic tie-breaker vector, and the per-class accumulators with
-        their sample counts.  Class labels and item-memory keys are stored as
-        pickled object arrays, so any hashable label type survives the trip.
+        predictions exactly *and* to resume training: the configuration
+        (including the backend choice), the similarity metric, the
+        materialized item-memory entries together with the generator state
+        that produces any *future* entries, the deterministic tie-breaker
+        vector, and the embedded :class:`TrainingState` (per-class
+        accumulators, sample counts, encoder context).  Class labels and
+        item-memory keys are stored as pickled object arrays, so any hashable
+        label type survives the trip.
         """
         basis = self.encoder._basis
         item_keys = list(basis.keys())
         # Rows of the contiguous basis matrix are in key-materialization
         # order, which is exactly the iteration order of basis.keys().
         item_matrix = np.array(basis.matrix, copy=True)
-        memory = self.classifier.memory
-        class_labels = memory.classes
-        accumulators = (
-            np.vstack([memory._accumulators[label] for label in class_labels])
-            if class_labels
-            else np.empty((0, self.config.dimension), dtype=np.int64)
-        )
-        counts = np.array(
-            [memory.count(label) for label in class_labels], dtype=np.int64
-        )
+        state = self.export_state()
         np.savez_compressed(
             path,
             format_version=np.int64(self.PERSISTENCE_FORMAT_VERSION),
+            kind="graphhd_model",
             config=json.dumps(asdict(self.config)),
             metric=self.metric,
             basis_rng_state=json.dumps(basis._rng.bit_generator.state),
@@ -281,9 +380,10 @@ class GraphHDClassifier:
             item_keys=_object_vector(item_keys),
             item_vectors=item_matrix,
             tie_breaker=self.encoder._tie_breaker,
-            class_labels=_object_vector(class_labels),
-            class_accumulators=accumulators,
-            class_counts=counts,
+            **{
+                f"state_{key}": value
+                for key, value in state._payload_arrays().items()
+            },
         )
 
     @classmethod
@@ -291,14 +391,38 @@ class GraphHDClassifier:
         """Restore a model previously written by :meth:`save`.
 
         The returned classifier predicts identically to the saved one (same
-        encodings, same class vectors) on either backend.
+        encodings, same class vectors) on either backend, and can resume
+        training: ``partial_fit`` continues the embedded
+        :class:`TrainingState` and :meth:`fit_from_state` merges compatible
+        shard states on top.  Reads the current format (version 2) and the
+        legacy pre-TrainingState format (version 1); anything else — a
+        non-model archive or a file written by a newer library — raises an
+        actionable ``ValueError`` naming the expected and found versions.
         """
         with np.load(path, allow_pickle=True) as data:
-            version = int(data["format_version"])
-            if version != cls.PERSISTENCE_FORMAT_VERSION:
+            if "format_version" not in data.files:
                 raise ValueError(
-                    f"unsupported model format version {version}; "
-                    f"expected {cls.PERSISTENCE_FORMAT_VERSION}"
+                    f"{path} is not a GraphHD model archive: it has no "
+                    "format_version entry (expected a file written by "
+                    "GraphHDClassifier.save, format version "
+                    f"<= {cls.PERSISTENCE_FORMAT_VERSION})"
+                )
+            # Version-1 model archives predate the kind marker; any archive
+            # that *does* carry one must carry ours (a TrainingState file,
+            # for instance, says so instead of dying on a missing key).
+            if "kind" in data.files and str(data["kind"]) != "graphhd_model":
+                raise ValueError(
+                    f"{path} is not a GraphHD model archive: found kind "
+                    f"{str(data['kind'])!r}, expected 'graphhd_model' "
+                    "(training-state archives load via TrainingState.load)"
+                )
+            version = int(data["format_version"])
+            if version not in (1, cls.PERSISTENCE_FORMAT_VERSION):
+                raise ValueError(
+                    f"unsupported model format version: found {version}, "
+                    f"expected 1..{cls.PERSISTENCE_FORMAT_VERSION}; a newer "
+                    "file needs a newer repro to load, an older one needs "
+                    "re-saving"
                 )
             config = GraphHDConfig(**json.loads(str(data["config"])))
             model = cls(config, metric=str(data["metric"]))
@@ -314,11 +438,19 @@ class GraphHDClassifier:
             model.encoder._tie_breaker = np.array(data["tie_breaker"], copy=True)
 
             memory = model.classifier.memory
-            counts = data["class_counts"]
-            for index, label in enumerate(data["class_labels"]):
-                memory._accumulators[label] = np.array(
-                    data["class_accumulators"][index], dtype=np.int64, copy=True
-                )
-                memory._counts[label] = int(counts[index])
+            if version == 1:
+                # Legacy layout: bare per-class arrays, no embedded state.
+                counts = data["class_counts"]
+                for index, label in enumerate(data["class_labels"]):
+                    memory._accumulators[label] = np.array(
+                        data["class_accumulators"][index], dtype=np.int64, copy=True
+                    )
+                    memory._counts[label] = int(counts[index])
+            else:
+                state = TrainingState._from_payload(data, prefix="state_")
+                # The memory's internal state stays context-free; the context
+                # is re-derived from the live config on export.
+                state.context = None
+                memory._state = state
             model.classifier._is_fitted = len(memory.classes) > 0
         return model

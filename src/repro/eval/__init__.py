@@ -18,6 +18,10 @@ This subpackage implements the paper's experimental protocol:
 * :mod:`repro.eval.encoding_store` — the persistent on-disk encoding cache
   shared across folds, processes and runs, with mmap-able read-only entries
   and a manifest-driven prune/clear/migrate lifecycle (``repro store``);
+* :mod:`repro.eval.sharded` — map-reduce training: per-shard
+  :class:`~repro.hdc.training_state.TrainingState` accumulation over the
+  process pool, merged bit-identically to single-shot ``fit``
+  (``repro train``);
 * :mod:`repro.eval.reporting` — plain-text rendering of tables and series.
 """
 
@@ -25,6 +29,7 @@ from repro.eval.metrics import accuracy_score, confusion_matrix, per_class_accur
 from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.parallel import resolve_n_jobs, run_tasks
+from repro.eval.sharded import ShardedFitResult, fit_shard, fit_sharded, shard_indices
 from repro.eval.methods import METHOD_NAMES, make_method
 from repro.eval.comparison import ComparisonResult, compare_methods
 from repro.eval.scaling import ScalingPoint, scaling_experiment
@@ -47,6 +52,10 @@ __all__ = [
     "dataset_encodings",
     "resolve_n_jobs",
     "run_tasks",
+    "ShardedFitResult",
+    "fit_shard",
+    "fit_sharded",
+    "shard_indices",
     "METHOD_NAMES",
     "make_method",
     "ComparisonResult",

@@ -1,9 +1,10 @@
 """Deterministic process-pool execution for the evaluation harness.
 
-The evaluation protocol is embarrassingly parallel at three levels — folds x
+The evaluation protocol is embarrassingly parallel at four levels — folds x
 repetitions inside :func:`repro.eval.cross_validation.cross_validate`, the
-(dataset, method) grid in :func:`repro.eval.comparison.compare_methods`, and
-the sweep points of the scaling and robustness experiments.  This module
+(dataset, method) grid in :func:`repro.eval.comparison.compare_methods`, the
+sweep points of the scaling and robustness experiments, and the training
+shards of :func:`repro.eval.sharded.fit_sharded`.  This module
 provides the one execution primitive they all share: :func:`run_tasks` fans a
 list of zero-argument callables out over a pool of worker processes and
 returns their results **in task order**.

@@ -1,0 +1,204 @@
+"""Sharded map-reduce training over the deterministic process pool.
+
+GraphHD training is a monoid: class vectors are integer sums of graph
+encodings, so any partition of the training set can be accumulated
+independently and merged.  This module is the driver for that observation —
+the *map* step trains one :class:`~repro.hdc.training_state.TrainingState`
+per shard (in parallel over :func:`repro.eval.parallel.run_tasks`), and the
+*reduce* step folds the shard states together with
+:func:`~repro.hdc.training_state.merge_states` and installs the result into
+a model via ``fit_from_state``.
+
+The headline guarantee, locked down by
+``tests/property/test_sharded_equivalence.py``: for any shard count, the
+sharded model's class vectors are **bit-identical** to single-shot ``fit``
+on the whole training set.  Two preconditions make that true, and both are
+checked up front:
+
+* the encodings must be *split-invariant* (a graph encodes identically alone
+  or inside any batch) — every deterministic centrality qualifies; the
+  ``"random"`` centrality ablation does not and is rejected;
+* the configuration must be *seeded*, because every shard trains a fresh
+  model from ``model_factory()`` and only a seeded basis makes those models
+  encode into the same vector space.
+
+Both conditions are exactly "the model publishes an
+``encoding_store_token``", so the same token that keys the persistent
+encoding store also gates sharding.
+
+Merging in shard order reproduces the global first-seen class ordering of a
+single-shot fit, so even similarity *ties* resolve identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.eval.encoding_store import EncodingStore, dataset_encodings
+from repro.eval.parallel import resolve_n_jobs, run_tasks
+from repro.graphs.graph import Graph
+from repro.hdc.training_state import TrainingState, merge_states
+
+__all__ = ["ShardedFitResult", "fit_shard", "fit_sharded", "shard_indices"]
+
+
+def shard_indices(num_samples: int, n_shards: int) -> list[np.ndarray]:
+    """Contiguous, balanced index blocks for splitting a training set.
+
+    The first ``num_samples % n_shards`` shards get one extra sample.
+    Contiguity matters: merging contiguous shards *in shard order* walks the
+    samples in their original order, which reproduces the exact first-seen
+    class ordering (and therefore tie-breaking) of a single-shot fit.
+    Shards beyond ``num_samples`` come back empty and are skipped by
+    :func:`fit_sharded`.
+    """
+    if num_samples < 0:
+        raise ValueError(f"num_samples must be non-negative, got {num_samples}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    return np.array_split(np.arange(num_samples), n_shards)
+
+
+def _check_shardable(model: object) -> None:
+    """Reject models whose sharded training would not be reproducible."""
+    if not callable(getattr(model, "fit_state", None)) or not callable(
+        getattr(model, "fit_from_state", None)
+    ):
+        raise ValueError(
+            f"{type(model).__name__} does not implement the training-state "
+            "protocol (fit_state/fit_from_state) required for sharded training"
+        )
+    if getattr(model, "encoding_store_token", None) is None:
+        raise ValueError(
+            "sharded training requires split-invariant, seeded encodings: "
+            "every shard trains a fresh model from model_factory(), so the "
+            "configuration must be seeded (a per-process random basis would "
+            "put shards in different vector spaces) and must not use the "
+            '"random" centrality ablation (its encodings depend on how the '
+            "graphs are batched).  The model publishes no encoding_store_token, "
+            "which is exactly this condition."
+        )
+
+
+def fit_shard(
+    model_factory: Callable[[], object],
+    graphs: Sequence[Graph],
+    labels: Sequence[Hashable],
+) -> TrainingState:
+    """Train one shard: encode + accumulate its graphs into a fresh state.
+
+    The map step, also usable standalone (the ``repro train shard`` CLI runs
+    exactly this in each training process and saves the returned state).
+    """
+    model = model_factory()
+    _check_shardable(model)
+    return model.fit_state(list(graphs), list(labels))
+
+
+@dataclass
+class ShardedFitResult:
+    """Outcome of a :func:`fit_sharded` run.
+
+    Attributes
+    ----------
+    model:
+        A model from ``model_factory`` with the merged state installed;
+        predicts bit-identically to single-shot ``fit`` on the full set.
+    state:
+        The merged training state (all shards reduced, context-stamped).
+    shard_states:
+        The per-shard states in shard order, before merging.
+    shard_sizes:
+        Number of training samples in each (non-empty) shard.
+    n_jobs:
+        Effective worker count the shard tasks ran under.
+    from_store:
+        Whether the encodings came from the persistent store (None when no
+        store was passed and every shard encoded its own graphs).
+    """
+
+    model: object
+    state: TrainingState
+    shard_states: list[TrainingState] = field(default_factory=list)
+    shard_sizes: list[int] = field(default_factory=list)
+    n_jobs: int = 1
+    from_store: bool | None = None
+
+
+def fit_sharded(
+    model_factory: Callable[[], object],
+    graphs: Sequence[Graph],
+    labels: Sequence[Hashable],
+    *,
+    n_shards: int,
+    n_jobs: int | None = None,
+    encoding_store: EncodingStore | None = None,
+    mmap_mode: str | None = None,
+    fingerprint: str | None = None,
+) -> ShardedFitResult:
+    """Map-reduce fit: shard the training set, train in parallel, merge.
+
+    Splits ``graphs`` into ``n_shards`` contiguous balanced shards, trains
+    an independent :class:`TrainingState` per shard over
+    :func:`~repro.eval.parallel.run_tasks` (bit-identical for every worker
+    count), folds the states in shard order, and installs the merge into a
+    fresh model.  The result's class vectors equal single-shot
+    ``model_factory().fit(graphs, labels)`` exactly — see the module
+    docstring for the two preconditions, which raise ``ValueError`` when
+    violated.
+
+    With an ``encoding_store``, the dataset is encoded once up front through
+    the persistent cache (hitting any encodings left by earlier runs;
+    ``mmap_mode="r"`` shares one page-cached matrix across the fork-pool
+    workers) and the shard tasks only accumulate.  Without a store, each
+    shard task encodes its own graphs — that is where the parallel speedup
+    lives for cold encodings.
+    """
+    graphs = list(graphs)
+    labels = list(labels)
+    if len(graphs) != len(labels):
+        raise ValueError("graphs and labels must have the same length")
+    if not graphs:
+        raise ValueError("cannot fit on an empty training set")
+
+    model = model_factory()
+    _check_shardable(model)
+    shards = [block for block in shard_indices(len(graphs), n_shards) if block.size]
+
+    from_store: bool | None = None
+    if encoding_store is not None:
+        encodings, from_store = dataset_encodings(
+            model,
+            graphs,
+            encoding_store,
+            fingerprint=fingerprint,
+            mmap_mode=mmap_mode,
+        )
+        tasks = [
+            lambda block=block: model_factory().fit_state_encoded(
+                encodings[block], [labels[i] for i in block]
+            )
+            for block in shards
+        ]
+    else:
+        tasks = [
+            lambda block=block: model_factory().fit_state(
+                [graphs[i] for i in block], [labels[i] for i in block]
+            )
+            for block in shards
+        ]
+
+    states = run_tasks(tasks, n_jobs)
+    merged = merge_states(states)
+    model.fit_from_state(merged)
+    return ShardedFitResult(
+        model=model,
+        state=merged,
+        shard_states=states,
+        shard_sizes=[int(block.size) for block in shards],
+        n_jobs=resolve_n_jobs(n_jobs),
+        from_store=from_store,
+    )

@@ -7,6 +7,8 @@ This subpackage implements the HDC machinery that GraphHD builds on:
   (bundling/addition, binding/multiplication, permutation) and similarity metrics.
 * :mod:`repro.hdc.item_memory` — basis-hypervector stores (random, level, circular).
 * :mod:`repro.hdc.encoders` — generic encoders (record-based, n-gram, sequence).
+* :mod:`repro.hdc.training_state` — the mergeable, serializable training-state
+  value object (centroid training is a monoid; shard, merge, resume).
 * :mod:`repro.hdc.associative_memory` — class-vector memory used for inference.
 * :mod:`repro.hdc.classifier` — a generic centroid HDC classifier with optional
   retraining and online learning.
@@ -46,6 +48,7 @@ from repro.hdc.item_memory import CircularItemMemory, ItemMemory, LevelItemMemor
 from repro.hdc.encoders import NGramEncoder, RecordEncoder, SequenceEncoder
 from repro.hdc.associative_memory import AssociativeMemory
 from repro.hdc.classifier import CentroidClassifier
+from repro.hdc.training_state import MergeError, TrainingState, merge_states
 
 __all__ = [
     "BACKEND_NAMES",
@@ -77,4 +80,7 @@ __all__ = [
     "SequenceEncoder",
     "AssociativeMemory",
     "CentroidClassifier",
+    "TrainingState",
+    "MergeError",
+    "merge_states",
 ]

@@ -4,17 +4,26 @@ A trained HDC model is a set of class vectors ``M = {C_1, ..., C_k}``
 (Section III-B of the paper).  The associative memory stores these vectors,
 answers nearest-class queries (inference, Section III-C), and supports the
 incremental updates needed for retraining and online learning.
+
+All accumulation state lives in a :class:`~repro.hdc.training_state.TrainingState`
+— the first-class, serializable, *mergeable* record of a training run.  The
+memory is therefore a thin inference wrapper: ``add``/``add_many``/
+``add_accumulator`` route through the state, :meth:`export_state` hands a
+copy of it out (for sharded map-reduce training, checkpointing, federated
+aggregation), and :meth:`from_state`/:meth:`merge_state` rebuild or extend a
+memory from states produced anywhere else.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.hdc.backend import HDCBackend, get_backend
-from repro.hdc.hypervector import ACCUMULATOR_DTYPE, ensure_matrix
+from repro.hdc.hypervector import ensure_matrix
 from repro.hdc.operations import normalize_hard
+from repro.hdc.training_state import TrainingState
 
 
 class AssociativeMemory:
@@ -50,25 +59,72 @@ class AssociativeMemory:
         self.normalize_queries = (
             bool(normalize_queries) or not self.backend.is_component_space
         )
-        self._accumulators: dict[Hashable, np.ndarray] = {}
-        self._counts: dict[Hashable, int] = {}
+        self._state = TrainingState(self.dimension, backend=self.backend)
         self._storage_width = self.backend.storage_width(self.dimension)
 
     # ------------------------------------------------------------------ state
     @property
+    def _accumulators(self) -> dict[Hashable, np.ndarray]:
+        """The live per-class accumulator dict (owned by the training state)."""
+        return self._state._accumulators
+
+    @property
+    def _counts(self) -> dict[Hashable, int]:
+        """The live per-class sample counts (owned by the training state)."""
+        return self._state._counts
+
+    @property
     def classes(self) -> list[Hashable]:
         """Class labels currently stored, in insertion order."""
-        return list(self._accumulators.keys())
+        return self._state.classes
 
     def __len__(self) -> int:
-        return len(self._accumulators)
+        return len(self._state)
 
     def __contains__(self, label: Hashable) -> bool:
-        return label in self._accumulators
+        return label in self._state
 
     def count(self, label: Hashable) -> int:
         """Number of hypervectors accumulated into ``label`` (net of removals)."""
-        return self._counts.get(label, 0)
+        return self._state.count(label)
+
+    def export_state(self) -> TrainingState:
+        """A deep copy of this memory's training state.
+
+        The copy is independent: accumulating into it (or merging it
+        elsewhere) never mutates this memory.  The exported state carries no
+        encoder context — stamp ``state.context`` when the caller knows the
+        encoding identity (``GraphHDClassifier.export_state`` does).
+        """
+        return self._state.copy()
+
+    @classmethod
+    def from_state(
+        cls,
+        state: TrainingState,
+        *,
+        metric: str = "cosine",
+        normalize_queries: bool = False,
+    ) -> "AssociativeMemory":
+        """Build a memory holding a copy of ``state``'s class vectors."""
+        memory = cls(
+            state.dimension,
+            metric=metric,
+            normalize_queries=normalize_queries,
+            backend=state.backend,
+        )
+        memory._state = state.copy()
+        return memory
+
+    def merge_state(self, state: TrainingState) -> None:
+        """Merge a training state's accumulators into this memory.
+
+        Raises :class:`~repro.hdc.training_state.MergeError` on dimension or
+        backend mismatch; the memory's own state carries no encoder context,
+        so context compatibility is the caller's contract (checked by
+        ``GraphHDClassifier.fit_from_state``).
+        """
+        self._state.merge_update(state)
 
     # ---------------------------------------------------------------- updates
     def add(self, label: Hashable, hypervector: np.ndarray, weight: float = 1.0) -> None:
@@ -78,27 +134,7 @@ class AssociativeMemory:
         how perceptron-style HDC retraining removes a sample from the wrong
         class.
         """
-        hypervector = np.asarray(hypervector)
-        if hypervector.shape != (self._storage_width,):
-            raise ValueError(
-                f"expected a hypervector of shape ({self._storage_width},), "
-                f"got {hypervector.shape}"
-            )
-        if self.backend.is_component_space:
-            # Keep the original dtype: un-normalized integer encodings can
-            # exceed the int8 range that backend.unpack would clamp to.
-            components = hypervector
-        else:
-            components = self.backend.unpack(hypervector, self.dimension)
-        accumulator = self._accumulators.get(label)
-        contribution = (components.astype(np.float64) * weight).astype(
-            ACCUMULATOR_DTYPE
-        )
-        if accumulator is None:
-            self._accumulators[label] = contribution.copy()
-        else:
-            accumulator += contribution
-        self._counts[label] = self._counts.get(label, 0) + (1 if weight > 0 else -1)
+        self._state.add_encoding(label, hypervector, weight=weight)
 
     def add_many(
         self,
@@ -122,20 +158,12 @@ class AssociativeMemory:
 
         Lets batch trainers accumulate all classes with one segmented kernel
         call and hand the per-class sums over, instead of re-accumulating
-        per class through :meth:`add_many`.
+        per class through :meth:`add_many`.  The accumulator is validated
+        against the backend (shape and safe ``int64`` castability), so a
+        mismatched packed/dense array raises a clear ``ValueError`` instead
+        of being silently mis-added.
         """
-        accumulator = np.asarray(accumulator, dtype=ACCUMULATOR_DTYPE)
-        if accumulator.shape != (self.dimension,):
-            raise ValueError(
-                f"expected an accumulator of shape ({self.dimension},), "
-                f"got {accumulator.shape}"
-            )
-        existing = self._accumulators.get(label)
-        if existing is None:
-            self._accumulators[label] = accumulator.copy()
-        else:
-            existing += accumulator
-        self._counts[label] = self._counts.get(label, 0) + int(count)
+        self._state.add_accumulator(label, accumulator, count)
 
     # ---------------------------------------------------------------- queries
     def class_vector(self, label: Hashable, *, normalized: bool | None = None) -> np.ndarray:
@@ -145,7 +173,7 @@ class AssociativeMemory:
         accumulator; ``False`` returns the raw integer accumulator; ``None``
         follows the memory-wide ``normalize_queries`` setting.
         """
-        if label not in self._accumulators:
+        if label not in self._state:
             raise KeyError(f"unknown class label: {label!r}")
         accumulator = self._accumulators[label]
         use_normalized = self.normalize_queries if normalized is None else normalized

@@ -254,6 +254,49 @@ class HDCBackend(ABC):
             block = native_matrix[boundaries[index] : boundaries[index + 1]]
             output[segment] += self.accumulate(block, dimension)
 
+    # -------------------------------------------------------- accumulators
+    def validate_accumulator(
+        self, accumulator: np.ndarray, dimension: int
+    ) -> np.ndarray:
+        """Check that ``accumulator`` is a component-space ``int64`` sum.
+
+        Accumulators are backend-independent: one signed ``int64`` entry per
+        component, regardless of the native storage format.  This validates
+        the shape and rejects dtypes that do not cast *safely* to ``int64``
+        — native packed words (``uint64``, which would silently wrap) and
+        float arrays (which would silently truncate) both raise a clear
+        ``ValueError`` instead of corrupting a class vector.  Returns the
+        accumulator as an ``int64`` array (cast when needed).
+        """
+        array = np.asarray(accumulator)
+        if array.shape != (dimension,):
+            raise ValueError(
+                f"expected a component-space accumulator of shape "
+                f"({dimension},), got {array.shape}"
+            )
+        if array.dtype == ACCUMULATOR_DTYPE:
+            return array
+        if not np.can_cast(array.dtype, ACCUMULATOR_DTYPE, casting="safe"):
+            raise ValueError(
+                f"accumulator dtype {array.dtype} does not cast safely to "
+                f"{np.dtype(ACCUMULATOR_DTYPE)}; accumulators must be signed "
+                "component-space integer sums (native packed uint64 words "
+                "must be accumulated with backend.accumulate, not added raw)"
+            )
+        return array.astype(ACCUMULATOR_DTYPE)
+
+    def merge_accumulators(
+        self, into: np.ndarray, other: np.ndarray, dimension: int
+    ) -> np.ndarray:
+        """Add the component-space accumulator ``other`` into ``into``.
+
+        The merge kernel of sharded map-reduce training: integer vector
+        addition, after validating ``other`` against this backend.  ``into``
+        is updated in place and returned.
+        """
+        into += self.validate_accumulator(other, dimension)
+        return into
+
     @abstractmethod
     def normalize(
         self,
@@ -525,6 +568,21 @@ class PackedBackend(HDCBackend):
         # Reuse the dense majority vote (including its tie-breaking rules) so
         # a packed bundle is exactly the packing of the dense bundle.
         return pack_bipolar(normalize_hard(accumulator, tie_breaker=tie_breaker, rng=rng))
+
+    def validate_accumulator(
+        self, accumulator: np.ndarray, dimension: int
+    ) -> np.ndarray:
+        array = np.asarray(accumulator)
+        if array.dtype == PACKED_DTYPE and array.shape[-1:] == (
+            packed_words(dimension),
+        ):
+            raise ValueError(
+                f"got a uint64 array of {packed_words(dimension)} words — this "
+                "looks like a *native packed hypervector*, not an accumulator; "
+                "accumulators are signed int64 component-space sums "
+                "(use backend.accumulate / backend.unpack first)"
+            )
+        return super().validate_accumulator(array, dimension)
 
     def permute(self, native: np.ndarray, dimension: int, shifts: int = 1) -> np.ndarray:
         # Rotation crosses word boundaries; the unpack/roll/pack round-trip is

@@ -25,25 +25,13 @@ import numpy as np
 from repro.hdc.associative_memory import AssociativeMemory
 from repro.hdc.backend import HDCBackend, get_backend
 from repro.hdc.hypervector import ensure_matrix
+from repro.hdc.training_state import TrainingState, label_class_indices
 
-
-def label_class_indices(
-    labels: Sequence[Hashable],
-) -> tuple[list[Hashable], np.ndarray]:
-    """Map labels to (first-seen class list, per-sample int64 class indices).
-
-    Comparing integer class indices sidesteps the ``ndarray == tuple``
-    broadcasting hazard of object-array comparisons, so sequence labels
-    (e.g. tuples) group correctly; shared by every batch trainer that
-    partitions encodings per class.
-    """
-    labels = list(labels)
-    class_labels = list(dict.fromkeys(labels))
-    index_of = {label: index for index, label in enumerate(class_labels)}
-    class_ids = np.fromiter(
-        (index_of[label] for label in labels), dtype=np.int64, count=len(labels)
-    )
-    return class_labels, class_ids
+__all__ = [
+    "CentroidClassifier",
+    "RetrainingReport",
+    "label_class_indices",  # re-exported from training_state for callers
+]
 
 
 @dataclass
@@ -111,41 +99,59 @@ class CentroidClassifier:
         self._is_fitted = False
 
     # ------------------------------------------------------------------ train
+    def fit_state(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> TrainingState:
+        """Accumulate the encodings into a fresh, mergeable training state.
+
+        The map half of map-reduce training: the returned state does not
+        touch this classifier's memory — install it (or a merge of several
+        shard states) with :meth:`fit_from_state`.  All classes are
+        accumulated with one segmented kernel call; integer sums commute, so
+        the class vectors are exactly those of per-class accumulation.
+        """
+        return TrainingState(self.dimension, backend=self.backend).add_encodings(
+            encodings, labels
+        )
+
+    def fit_from_state(self, state: TrainingState) -> "CentroidClassifier":
+        """Merge a training state's class vectors into this classifier.
+
+        The reduce half of map-reduce training; also the single code path
+        every ``fit``/``partial_fit`` variant funnels through.  Raises
+        :class:`~repro.hdc.training_state.MergeError` on dimension/backend
+        mismatch.
+        """
+        self.memory.merge_state(state)
+        self._is_fitted = True
+        return self
+
     def fit(
         self,
         encodings: Sequence[np.ndarray] | np.ndarray,
         labels: Sequence[Hashable],
     ) -> "CentroidClassifier":
         """Fit class vectors by bundling the encodings of each class."""
-        matrix = ensure_matrix(encodings)
-        labels = list(labels)
-        if matrix.shape[0] != len(labels):
-            raise ValueError(
-                f"number of encodings ({matrix.shape[0]}) does not match "
-                f"number of labels ({len(labels)})"
-            )
-        expected_width = self.backend.storage_width(self.dimension)
-        if matrix.shape[1] != expected_width:
-            raise ValueError(
-                f"expected encodings of dimension {expected_width}, got {matrix.shape[1]}"
-            )
-        # Map every label to a class index (first-seen order) and accumulate
-        # all classes with one segmented kernel call.  Integer sums commute,
-        # so the class vectors are exactly those of per-class accumulation.
-        class_labels, class_ids = label_class_indices(labels)
-        counts = np.bincount(class_ids, minlength=len(class_labels))
-        accumulators = self.backend.segment_accumulate(
-            matrix, class_ids, len(class_labels), self.dimension
-        )
-        for index, label in enumerate(class_labels):
-            self.memory.add_accumulator(label, accumulators[index], int(counts[index]))
-        self._is_fitted = True
-        return self
+        return self.fit_from_state(self.fit_state(encodings, labels))
 
     def partial_fit(self, encoding: np.ndarray, label: Hashable) -> None:
         """Online update: add a single encoded sample to its class vector."""
-        self.memory.add(label, np.asarray(encoding))
-        self._is_fitted = True
+        self.partial_fit_many(np.asarray(encoding)[None, :], [label])
+
+    def partial_fit_many(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> None:
+        """Online update with a batch of encoded samples (one label each).
+
+        Batched counterpart of :meth:`partial_fit`; identical to calling it
+        per sample (integer accumulation commutes), but pays the segmented
+        accumulation kernel once for the whole batch.
+        """
+        self.fit_from_state(self.fit_state(encodings, labels))
 
     def retrain(
         self,

@@ -1,0 +1,459 @@
+"""Mergeable training state: the monoid underneath HDC centroid training.
+
+The paper's training step is pure superposition — a class vector is the sum
+of the encoded training graphs of that class — so centroid accumulation is
+associative and commutative and *training is a monoid*: any dataset can be
+sharded, each shard trained independently (in another process, on another
+machine, or on another day), and the partial results merged into exactly the
+model that single-shot training would have produced.
+
+:class:`TrainingState` is that monoid element made first-class: a value
+object holding the per-class ``int64`` component-space accumulators, the
+per-class sample counts, and the identity needed to decide whether two
+states may be merged (dimension, compute backend, and an optional ``context``
+dict stamped by the encoder-owning model).  It offers:
+
+* :meth:`merge` — the monoid operation.  Associative, and order-insensitive
+  up to the first-seen class ordering rule (accumulators and counts are
+  identical for every merge order; the class *listing order* follows the
+  left operand first, then unseen classes of the right operand in their
+  first-seen order).  Raises :class:`MergeError` on dimension/backend/context
+  mismatch.
+* :meth:`save` / :meth:`load` — a versioned ``.npz`` round trip, so partial
+  states can travel between processes, machines and sessions.
+* :meth:`finalize` — seal the state into an
+  :class:`~repro.hdc.associative_memory.AssociativeMemory` for inference.
+
+Merge-compatibility contract
+----------------------------
+Two states are mergeable iff they have the same ``dimension``, the same
+backend (by registry name), and compatible ``context``: contexts are
+compared by equality, with ``None`` acting as a wildcard that adopts the
+other operand's context.  The context of states produced by
+``GraphHDClassifier.fit_state`` records the encoder class and full encoder
+configuration, so states are only mergeable when their encodings live in the
+same vector space (same basis seed, centrality, dimension, backend, ...).
+Merging is exact only for *seeded* encoders — two unseeded models share a
+``seed: None`` context but draw different bases, which no runtime check can
+detect; shard drivers should use seeded configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.hdc.backend import HDCBackend, get_backend
+from repro.hdc.hypervector import ACCUMULATOR_DTYPE, ensure_matrix
+
+
+class MergeError(ValueError):
+    """Two training states (or a state and a model) cannot be combined.
+
+    Raised when dimensions, compute backends or encoder contexts differ —
+    merging across those boundaries would silently mix incompatible vector
+    spaces.
+    """
+
+
+def object_vector(items: Sequence) -> np.ndarray:
+    """A 1-D object array of ``items``.
+
+    ``np.array(items, dtype=object)`` would broadcast equal-length sequence
+    items (e.g. tuple labels) into a 2-D array, corrupting them on reload;
+    pre-allocating the 1-D shape keeps every item intact.
+    """
+    vector = np.empty(len(items), dtype=object)
+    vector[:] = items
+    return vector
+
+
+def label_class_indices(
+    labels: Sequence[Hashable],
+) -> tuple[list[Hashable], np.ndarray]:
+    """Map labels to (first-seen class list, per-sample int64 class indices).
+
+    Comparing integer class indices sidesteps the ``ndarray == tuple``
+    broadcasting hazard of object-array comparisons, so sequence labels
+    (e.g. tuples) group correctly; shared by every batch trainer that
+    partitions encodings per class.
+    """
+    labels = list(labels)
+    class_labels = list(dict.fromkeys(labels))
+    index_of = {label: index for index, label in enumerate(class_labels)}
+    class_ids = np.fromiter(
+        (index_of[label] for label in labels), dtype=np.int64, count=len(labels)
+    )
+    return class_labels, class_ids
+
+
+class TrainingState:
+    """Per-class accumulators + counts + merge-compatibility identity.
+
+    Parameters
+    ----------
+    dimension:
+        Component-space dimensionality of the accumulators.
+    backend:
+        Compute backend the *encodings* fed to this state live in; the
+        accumulators themselves are always backend-independent ``int64``
+        component-space arrays, but the backend identity participates in the
+        merge-compatibility check (a packed-trained and a dense-trained state
+        describe the same space only when produced from the same seed, which
+        the context check covers; the backend check keeps the native query
+        format unambiguous when finalizing).
+    context:
+        Optional JSON-serializable dict identifying the encoder that produced
+        the accumulated encodings (see the module docstring's
+        merge-compatibility contract).  ``None`` acts as a wildcard.
+    """
+
+    #: On-disk format version written by :meth:`save`.
+    FORMAT_VERSION = 1
+
+    #: Archive marker distinguishing state files from model files.
+    ARCHIVE_KIND = "training_state"
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        backend: str | HDCBackend | None = None,
+        context: dict | None = None,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = int(dimension)
+        self.backend = get_backend(backend)
+        self.context = context
+        self._accumulators: dict[Hashable, np.ndarray] = {}
+        self._counts: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def classes(self) -> list[Hashable]:
+        """Class labels currently accumulated, in first-seen order."""
+        return list(self._accumulators.keys())
+
+    def __len__(self) -> int:
+        return len(self._accumulators)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._accumulators
+
+    def count(self, label: Hashable) -> int:
+        """Number of samples accumulated into ``label`` (net of removals)."""
+        return self._counts.get(label, 0)
+
+    @property
+    def num_samples(self) -> int:
+        """Total samples accumulated across every class (net of removals)."""
+        return sum(self._counts.values())
+
+    def accumulator(self, label: Hashable) -> np.ndarray:
+        """A copy of the raw ``int64`` accumulator of ``label``."""
+        if label not in self._accumulators:
+            raise KeyError(f"unknown class label: {label!r}")
+        return self._accumulators[label].copy()
+
+    def copy(self) -> "TrainingState":
+        """An independent deep copy of this state."""
+        duplicate = TrainingState(
+            self.dimension,
+            backend=self.backend,
+            context=None if self.context is None else dict(self.context),
+        )
+        duplicate._accumulators = {
+            label: accumulator.copy()
+            for label, accumulator in self._accumulators.items()
+        }
+        duplicate._counts = dict(self._counts)
+        return duplicate
+
+    def __eq__(self, other: object) -> bool:
+        """Strict value equality: identity, class order, accumulators, counts."""
+        if not isinstance(other, TrainingState):
+            return NotImplemented
+        if (
+            self.dimension != other.dimension
+            or self.backend.name != other.backend.name
+            or self.context != other.context
+            or self.classes != other.classes
+            or self._counts != other._counts
+        ):
+            return False
+        return all(
+            np.array_equal(self._accumulators[label], other._accumulators[label])
+            for label in self._accumulators
+        )
+
+    __hash__ = None  # mutable value object
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingState(dimension={self.dimension}, "
+            f"backend={self.backend.name!r}, classes={len(self)}, "
+            f"samples={self.num_samples})"
+        )
+
+    # ------------------------------------------------------------ accumulation
+    def add_accumulator(
+        self, label: Hashable, accumulator: np.ndarray, count: int
+    ) -> None:
+        """Add a pre-computed component-space sum of ``count`` encodings.
+
+        The accumulator is validated against the backend: it must be a
+        ``(dimension,)`` component-space array of a dtype that casts safely
+        to ``int64`` — native packed words (``uint64``) and float arrays are
+        rejected with a clear ``ValueError`` instead of being silently
+        wrapped or truncated into the class vector.
+        """
+        accumulator = self.backend.validate_accumulator(accumulator, self.dimension)
+        existing = self._accumulators.get(label)
+        if existing is None:
+            self._accumulators[label] = accumulator.copy()
+        else:
+            existing += accumulator
+        self._counts[label] = self._counts.get(label, 0) + int(count)
+
+    def add_encoding(
+        self, label: Hashable, encoding: np.ndarray, weight: float = 1.0
+    ) -> None:
+        """Accumulate one *native* encoding into the class of ``label``.
+
+        ``weight`` scales the contribution; negative weights subtract, which
+        is how perceptron-style HDC retraining removes a sample from the
+        wrong class (the count decrements by one per negative-weight add).
+        """
+        encoding = np.asarray(encoding)
+        width = self.backend.storage_width(self.dimension)
+        if encoding.shape != (width,):
+            raise ValueError(
+                f"expected a hypervector of shape ({width},), got {encoding.shape}"
+            )
+        if self.backend.is_component_space:
+            # Keep the original dtype: un-normalized integer encodings can
+            # exceed the int8 range that backend.unpack would clamp to.
+            components = encoding
+        else:
+            components = self.backend.unpack(encoding, self.dimension)
+        contribution = (components.astype(np.float64) * weight).astype(
+            ACCUMULATOR_DTYPE
+        )
+        existing = self._accumulators.get(label)
+        if existing is None:
+            self._accumulators[label] = contribution.copy()
+        else:
+            existing += contribution
+        self._counts[label] = self._counts.get(label, 0) + (1 if weight > 0 else -1)
+
+    def add_encodings(
+        self,
+        encodings: Sequence[np.ndarray] | np.ndarray,
+        labels: Sequence[Hashable],
+    ) -> "TrainingState":
+        """Accumulate a batch of native encodings, one label per row.
+
+        This is *the* batch-training kernel: every class is accumulated with
+        one segmented backend call, and because integer sums commute the
+        resulting class vectors are exactly those of per-class (or
+        per-sample) accumulation.  Returns ``self`` for chaining.
+        """
+        matrix = ensure_matrix(encodings)
+        labels = list(labels)
+        if matrix.shape[0] != len(labels):
+            raise ValueError(
+                f"number of encodings ({matrix.shape[0]}) does not match "
+                f"number of labels ({len(labels)})"
+            )
+        width = self.backend.storage_width(self.dimension)
+        if matrix.shape[1] != width:
+            raise ValueError(
+                f"expected encodings of dimension {width}, got {matrix.shape[1]}"
+            )
+        class_labels, class_ids = label_class_indices(labels)
+        counts = np.bincount(class_ids, minlength=len(class_labels))
+        accumulators = self.backend.segment_accumulate(
+            matrix, class_ids, len(class_labels), self.dimension
+        )
+        for index, label in enumerate(class_labels):
+            self.add_accumulator(label, accumulators[index], int(counts[index]))
+        return self
+
+    # ---------------------------------------------------------------- algebra
+    def check_mergeable(self, other: "TrainingState") -> None:
+        """Raise :class:`MergeError` unless ``other`` can merge into this state."""
+        if not isinstance(other, TrainingState):
+            raise MergeError(
+                f"cannot merge a TrainingState with {type(other).__name__}"
+            )
+        if self.dimension != other.dimension:
+            raise MergeError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+        if self.backend.name != other.backend.name:
+            raise MergeError(
+                f"backend mismatch: {self.backend.name!r} vs {other.backend.name!r}"
+            )
+        if (
+            self.context is not None
+            and other.context is not None
+            and self.context != other.context
+        ):
+            raise MergeError(
+                "encoder context mismatch: the states were produced by "
+                f"differently configured encoders ({self.context!r} vs "
+                f"{other.context!r})"
+            )
+
+    def merge_update(self, other: "TrainingState") -> "TrainingState":
+        """In-place merge: add ``other``'s accumulators and counts into this state.
+
+        New classes are appended in ``other``'s first-seen order; a ``None``
+        context adopts the other operand's context.  Returns ``self``.
+        """
+        self.check_mergeable(other)
+        for label, accumulator in other._accumulators.items():
+            existing = self._accumulators.get(label)
+            if existing is None:
+                self._accumulators[label] = accumulator.copy()
+                self._counts[label] = other._counts.get(label, 0)
+            else:
+                self.backend.merge_accumulators(existing, accumulator, self.dimension)
+                self._counts[label] = self._counts.get(label, 0) + other._counts.get(
+                    label, 0
+                )
+        if self.context is None and other.context is not None:
+            self.context = dict(other.context)
+        return self
+
+    def merge(self, other: "TrainingState") -> "TrainingState":
+        """The monoid operation: a new state holding both operands' samples.
+
+        Associative; accumulators and counts are identical for every merge
+        order, and the class listing order is first-seen left-to-right.
+        Raises :class:`MergeError` on dimension/backend/context mismatch.
+        """
+        return self.copy().merge_update(other)
+
+    # --------------------------------------------------------------- sealing
+    def finalize(
+        self,
+        *,
+        metric: str = "cosine",
+        normalize_queries: bool = False,
+    ) -> "AssociativeMemory":  # noqa: F821 - runtime import below
+        """Seal this state into an associative memory for inference.
+
+        The memory receives an independent copy of the accumulators, so the
+        state can keep accumulating (continual ingestion) without mutating
+        already-finalized models.
+        """
+        # Imported here: associative_memory builds *on* TrainingState, so a
+        # module-level import would be circular.
+        from repro.hdc.associative_memory import AssociativeMemory
+
+        return AssociativeMemory.from_state(
+            self, metric=metric, normalize_queries=normalize_queries
+        )
+
+    # ------------------------------------------------------------ persistence
+    def _payload_arrays(self) -> dict[str, np.ndarray | str]:
+        """The archive entries shared by :meth:`save` and the model format."""
+        labels = self.classes
+        accumulators = (
+            np.vstack([self._accumulators[label] for label in labels])
+            if labels
+            else np.empty((0, self.dimension), dtype=ACCUMULATOR_DTYPE)
+        )
+        counts = np.array([self._counts[label] for label in labels], dtype=np.int64)
+        return {
+            "dimension": np.int64(self.dimension),
+            "backend": self.backend.name,
+            "context": json.dumps(self.context),
+            "class_labels": object_vector(labels),
+            "class_accumulators": accumulators,
+            "class_counts": counts,
+        }
+
+    @classmethod
+    def _from_payload(cls, data, prefix: str = "") -> "TrainingState":
+        """Rebuild a state from archive entries written by ``_payload_arrays``."""
+        context = json.loads(str(data[f"{prefix}context"]))
+        state = cls(
+            int(data[f"{prefix}dimension"]),
+            backend=str(data[f"{prefix}backend"]),
+            context=context,
+        )
+        counts = data[f"{prefix}class_counts"]
+        accumulators = data[f"{prefix}class_accumulators"]
+        for index, label in enumerate(data[f"{prefix}class_labels"]):
+            state._accumulators[label] = np.array(
+                accumulators[index], dtype=ACCUMULATOR_DTYPE, copy=True
+            )
+            state._counts[label] = int(counts[index])
+        return state
+
+    def save(self, path) -> None:
+        """Serialize this state to a versioned ``.npz`` archive.
+
+        Class labels are stored as a pickled object array, so any hashable
+        label type (ints, strings, tuples) survives the round trip; the
+        context travels as JSON.
+        """
+        np.savez_compressed(
+            path,
+            format_version=np.int64(self.FORMAT_VERSION),
+            kind=self.ARCHIVE_KIND,
+            **self._payload_arrays(),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TrainingState":
+        """Restore a state previously written by :meth:`save`.
+
+        Raises an actionable ``ValueError`` (expected vs. found) on archives
+        written by other components or by newer format versions, instead of
+        surfacing a bare ``KeyError``.
+        """
+        with np.load(path, allow_pickle=True) as data:
+            if "format_version" not in data.files:
+                raise ValueError(
+                    f"{path} is not a TrainingState archive: it has no "
+                    "format_version entry (expected a file written by "
+                    "TrainingState.save)"
+                )
+            kind = str(data["kind"]) if "kind" in data.files else "unknown"
+            if kind != cls.ARCHIVE_KIND:
+                raise ValueError(
+                    f"{path} is not a TrainingState archive: found kind "
+                    f"{kind!r}, expected {cls.ARCHIVE_KIND!r} (model archives "
+                    "load via GraphHDClassifier.load)"
+                )
+            version = int(data["format_version"])
+            if version != cls.FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported TrainingState format version: found "
+                    f"{version}, expected {cls.FORMAT_VERSION}; re-save the "
+                    "state with a matching repro version"
+                )
+            return cls._from_payload(data)
+
+
+def merge_states(states: Sequence[TrainingState]) -> TrainingState:
+    """Fold a sequence of states with :meth:`TrainingState.merge`.
+
+    The fold is left-to-right, so the merged class listing order is
+    first-seen across the sequence; accumulators and counts are identical
+    for every ordering.  Raises ``ValueError`` on an empty sequence (the
+    monoid has no distinguished identity without a dimension).
+    """
+    states = list(states)
+    if not states:
+        raise ValueError("cannot merge an empty sequence of training states")
+    merged = states[0].copy()
+    for state in states[1:]:
+        merged.merge_update(state)
+    return merged

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
+from repro.hdc.training_state import TrainingState
 
 DIMENSION = 1024
 
@@ -123,3 +124,96 @@ class TestFormat:
         restored = GraphHDClassifier.load(path)
         assert restored.classes == []
         assert restored.classifier._is_fitted is False
+
+
+class TestFormatV2:
+    """The TrainingState-embedding archive layout (format version 2)."""
+
+    def _saved_model(self, dataset, tmp_path):
+        model = GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+        model.fit(dataset.graphs, dataset.labels)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        return model, path
+
+    def test_archive_embeds_training_state(self, two_class_dataset, tmp_path):
+        _, path = self._saved_model(two_class_dataset, tmp_path)
+        with np.load(path, allow_pickle=True) as data:
+            assert int(data["format_version"]) == 2
+            assert str(data["kind"]) == "graphhd_model"
+            for key in ("state_class_labels", "state_class_accumulators",
+                        "state_class_counts", "state_context"):
+                assert key in data.files
+
+    def test_not_an_archive_message(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        np.savez(path, payload=np.arange(4))
+        with pytest.raises(ValueError, match="not a GraphHD model archive"):
+            GraphHDClassifier.load(path)
+
+    def test_version_error_names_expected_and_found(
+        self, two_class_dataset, tmp_path
+    ):
+        _, path = self._saved_model(two_class_dataset, tmp_path)
+        with np.load(path, allow_pickle=True) as data:
+            contents = dict(data)
+        contents["format_version"] = np.int64(999)
+        np.savez_compressed(path, **contents)
+        with pytest.raises(ValueError, match=r"found 999, expected 1\.\.2"):
+            GraphHDClassifier.load(path)
+
+    def test_rejects_training_state_archive(self, two_class_dataset, tmp_path):
+        model, _ = self._saved_model(two_class_dataset, tmp_path)
+        state_path = tmp_path / "state.npz"
+        model.export_state().save(state_path)
+        with pytest.raises(ValueError, match="TrainingState.load"):
+            GraphHDClassifier.load(state_path)
+
+    def test_loads_legacy_v1_archive(self, two_class_dataset, tmp_path):
+        # Rewrite a v2 archive into the pre-TrainingState v1 layout (bare
+        # class_* arrays, no kind marker) and check it still loads exactly.
+        model, path = self._saved_model(two_class_dataset, tmp_path)
+        with np.load(path, allow_pickle=True) as data:
+            contents = dict(data)
+        contents["format_version"] = np.int64(1)
+        del contents["kind"]
+        for key in ("class_labels", "class_accumulators", "class_counts"):
+            contents[key] = contents.pop(f"state_{key}")
+        del contents["state_dimension"]
+        del contents["state_backend"]
+        del contents["state_context"]
+        np.savez_compressed(path, **contents)
+        restored = GraphHDClassifier.load(path)
+        assert restored.classes == model.classes
+        graphs = two_class_dataset.graphs
+        assert restored.predict(graphs) == model.predict(graphs)
+
+    def test_loaded_model_resumes_merge(self, two_class_dataset, tmp_path):
+        # A loaded model must absorb a compatible shard state exactly as the
+        # original would: load(save(fit(A))) + merge(state(B)) == fit(A + B).
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        config = GraphHDConfig(dimension=DIMENSION, seed=0)
+        first = GraphHDClassifier(config).fit(graphs[:15], labels[:15])
+        path = tmp_path / "model.npz"
+        first.save(path)
+        restored = GraphHDClassifier.load(path)
+        shard = GraphHDClassifier(config).fit_state(graphs[15:], labels[15:])
+        restored.fit_from_state(shard)
+        full = GraphHDClassifier(config).fit(graphs, labels)
+        assert restored.classes == full.classes
+        for label in full.classes:
+            assert np.array_equal(
+                restored.classifier.memory._accumulators[label],
+                full.classifier.memory._accumulators[label],
+            )
+
+    def test_export_state_round_trips_through_state_file(
+        self, two_class_dataset, tmp_path
+    ):
+        model, _ = self._saved_model(two_class_dataset, tmp_path)
+        state_path = tmp_path / "state.npz"
+        exported = model.export_state()
+        exported.save(state_path)
+        assert TrainingState.load(state_path) == exported
+        assert exported.context is not None
+        assert exported.context["encoder"] == "GraphHDEncoder"

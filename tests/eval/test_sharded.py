@@ -1,0 +1,135 @@
+"""Unit tests for the sharded map-reduce training driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.encoding_store import EncodingStore
+from repro.eval.sharded import ShardedFitResult, fit_shard, fit_sharded, shard_indices
+
+DIMENSION = 512
+
+
+def make_factory(backend="dense"):
+    return lambda: GraphHDClassifier(
+        GraphHDConfig(dimension=DIMENSION, seed=0, backend=backend)
+    )
+
+
+class TestShardIndices:
+    def test_contiguous_and_balanced(self):
+        blocks = shard_indices(10, 3)
+        assert [list(block) for block in blocks] == [
+            [0, 1, 2, 3],
+            [4, 5, 6],
+            [7, 8, 9],
+        ]
+
+    def test_covers_every_sample_once(self):
+        for n_shards in (1, 2, 5, 7, 13):
+            blocks = shard_indices(23, n_shards)
+            assert len(blocks) == n_shards
+            assert list(np.concatenate(blocks)) == list(range(23))
+
+    def test_extra_shards_come_back_empty(self):
+        blocks = shard_indices(2, 5)
+        assert [block.size for block in blocks] == [1, 1, 0, 0, 0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_indices(10, 0)
+        with pytest.raises(ValueError, match="num_samples"):
+            shard_indices(-1, 2)
+
+
+class TestFitShard:
+    def test_returns_context_stamped_state(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs[:10], two_class_dataset.labels[:10]
+        state = fit_shard(make_factory(), graphs, labels)
+        assert state.num_samples == 10
+        assert state.context is not None
+        assert state.context["encoder"] == "GraphHDEncoder"
+        assert state.context["config"]["dimension"] == DIMENSION
+
+    def test_rejects_models_without_state_protocol(self, two_class_dataset):
+        with pytest.raises(ValueError, match="training-state protocol"):
+            fit_shard(
+                lambda: object(),
+                two_class_dataset.graphs[:4],
+                two_class_dataset.labels[:4],
+            )
+
+
+class TestFitSharded:
+    def test_result_fields(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        result = fit_sharded(make_factory(), graphs, labels, n_shards=3)
+        assert isinstance(result, ShardedFitResult)
+        assert result.shard_sizes == [10, 10, 10]
+        assert len(result.shard_states) == 3
+        assert sum(s.num_samples for s in result.shard_states) == len(graphs)
+        assert result.state.num_samples == len(graphs)
+        assert result.from_store is None
+        assert result.n_jobs == 1
+
+    def test_validates_inputs(self, two_class_dataset):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        with pytest.raises(ValueError, match="same length"):
+            fit_sharded(make_factory(), graphs, labels[:-1], n_shards=2)
+        with pytest.raises(ValueError, match="empty"):
+            fit_sharded(make_factory(), [], [], n_shards=2)
+        with pytest.raises(ValueError, match="n_shards"):
+            fit_sharded(make_factory(), graphs, labels, n_shards=0)
+
+    def test_store_path_hits_on_second_run(self, two_class_dataset, tmp_path):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        store = EncodingStore(tmp_path / "store")
+        factory = make_factory()
+        cold = fit_sharded(
+            factory, graphs, labels, n_shards=2, encoding_store=store
+        )
+        assert cold.from_store is False
+        warm = fit_sharded(
+            factory, graphs, labels, n_shards=2, encoding_store=store
+        )
+        assert warm.from_store is True
+        # Cold, warm and store-free runs all produce the same class vectors.
+        plain = fit_sharded(factory, graphs, labels, n_shards=2)
+        for label in plain.model.classes:
+            assert np.array_equal(
+                cold.model.classifier.memory._accumulators[label],
+                plain.model.classifier.memory._accumulators[label],
+            )
+            assert np.array_equal(
+                warm.model.classifier.memory._accumulators[label],
+                plain.model.classifier.memory._accumulators[label],
+            )
+
+    def test_store_path_with_mmap(self, two_class_dataset, tmp_path):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        store = EncodingStore(tmp_path / "store")
+        factory = make_factory()
+        fit_sharded(factory, graphs, labels, n_shards=2, encoding_store=store)
+        mapped = fit_sharded(
+            factory,
+            graphs,
+            labels,
+            n_shards=2,
+            n_jobs=2,
+            encoding_store=store,
+            mmap_mode="r",
+        )
+        assert mapped.from_store is True
+        single = factory().fit(graphs, labels)
+        assert mapped.model.predict(graphs) == single.predict(graphs)
+
+    def test_merged_state_saves_and_rebuilds(self, two_class_dataset, tmp_path):
+        from repro.hdc.training_state import TrainingState
+
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        result = fit_sharded(make_factory(), graphs, labels, n_shards=2)
+        path = tmp_path / "merged.npz"
+        result.state.save(path)
+        rebuilt = make_factory()().fit_from_state(TrainingState.load(path))
+        assert rebuilt.predict(graphs) == result.model.predict(graphs)

@@ -135,3 +135,66 @@ class TestIntegerEncodings:
         stored = memory.class_vector("wide", normalized=False)
         assert stored[0] == 300
         assert stored[1] == -300
+
+
+class TestStateExchange:
+    """export_state / from_state / merge_state — the TrainingState surface."""
+
+    def _trained_memory(self):
+        memory = AssociativeMemory(DIMENSION)
+        matrix = random_hypervectors(6, DIMENSION, rng=8)
+        for row, label in zip(matrix, ["a", "b", "a", "c", "b", "a"]):
+            memory.add(label, row)
+        return memory
+
+    def test_export_state_is_a_deep_copy(self):
+        memory = self._trained_memory()
+        state = memory.export_state()
+        state.add_encoding("a", random_bipolar(DIMENSION, rng=1))
+        assert memory.count("a") == state.count("a") - 1
+
+    def test_from_state_round_trips(self):
+        memory = self._trained_memory()
+        rebuilt = AssociativeMemory.from_state(memory.export_state())
+        assert rebuilt.classes == memory.classes
+        for label in memory.classes:
+            assert np.array_equal(
+                rebuilt._accumulators[label], memory._accumulators[label]
+            )
+            assert rebuilt.count(label) == memory.count(label)
+
+    def test_merge_state_accumulates(self):
+        memory = self._trained_memory()
+        other = self._trained_memory()
+        expected = {
+            label: memory._accumulators[label] * 2 for label in memory.classes
+        }
+        memory.merge_state(other.export_state())
+        for label, accumulator in expected.items():
+            assert np.array_equal(memory._accumulators[label], accumulator)
+            assert memory.count(label) == 2 * other.count(label)
+
+    def test_merge_state_dimension_mismatch_raises(self):
+        from repro.hdc.training_state import MergeError, TrainingState
+
+        memory = self._trained_memory()
+        with pytest.raises(MergeError, match="dimension mismatch"):
+            memory.merge_state(TrainingState(DIMENSION * 2))
+
+
+class TestAccumulatorValidation:
+    def test_add_accumulator_rejects_unsafe_dtype(self):
+        memory = AssociativeMemory(DIMENSION)
+        with pytest.raises(ValueError, match="cast"):
+            memory.add_accumulator("a", np.ones(DIMENSION, dtype=np.uint64), 1)
+
+    def test_add_accumulator_rejects_wrong_shape(self):
+        memory = AssociativeMemory(DIMENSION)
+        with pytest.raises(ValueError, match="shape"):
+            memory.add_accumulator("a", np.ones(DIMENSION + 1, dtype=np.int64), 1)
+
+    def test_add_accumulator_accepts_safe_casts(self):
+        memory = AssociativeMemory(DIMENSION)
+        memory.add_accumulator("a", np.ones(DIMENSION, dtype=np.int32), 2)
+        assert memory.count("a") == 2
+        assert memory._accumulators["a"].dtype == np.int64

@@ -161,3 +161,50 @@ class TestRetraining:
         classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
         with pytest.raises(ValueError):
             classifier.retrain(encodings, labels[:-1], epochs=1)
+
+
+class TestStateAPI:
+    """fit_state / fit_from_state — the map-reduce halves of fit."""
+
+    def test_fit_state_leaves_classifier_untrained(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION)
+        state = classifier.fit_state(encodings, labels)
+        assert state.num_samples == len(labels)
+        assert classifier._is_fitted is False
+        assert len(classifier.memory) == 0
+
+    def test_fit_equals_fit_state_then_install(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        direct = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        staged = CentroidClassifier(DIMENSION)
+        staged.fit_from_state(staged.fit_state(encodings, labels))
+        assert staged.classes == direct.classes
+        for label in direct.classes:
+            assert np.array_equal(
+                staged.memory._accumulators[label],
+                direct.memory._accumulators[label],
+            )
+
+    def test_shard_states_merge_to_single_fit(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        direct = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        sharded = CentroidClassifier(DIMENSION)
+        half = len(labels) // 2
+        state = sharded.fit_state(encodings[:half], labels[:half]).merge(
+            sharded.fit_state(encodings[half:], labels[half:])
+        )
+        sharded.fit_from_state(state)
+        assert sharded.classes == direct.classes
+        for label in direct.classes:
+            assert np.array_equal(
+                sharded.memory._accumulators[label],
+                direct.memory._accumulators[label],
+            )
+
+    def test_fit_from_state_rejects_mismatched_dimension(self, clustered_data):
+        from repro.hdc.training_state import MergeError, TrainingState
+
+        classifier = CentroidClassifier(DIMENSION)
+        with pytest.raises(MergeError, match="dimension mismatch"):
+            classifier.fit_from_state(TrainingState(DIMENSION * 2))

@@ -1,0 +1,282 @@
+"""Tests for the mergeable TrainingState value object."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.backend import get_backend, pack_bipolar
+from repro.hdc.hypervector import random_hypervectors
+from repro.hdc.training_state import (
+    MergeError,
+    TrainingState,
+    label_class_indices,
+    merge_states,
+)
+
+DIMENSION = 256
+
+
+def make_state(seed, labels, *, backend="dense", context=None):
+    """A state accumulated from deterministic random encodings."""
+    matrix = random_hypervectors(len(labels), DIMENSION, rng=seed)
+    if get_backend(backend).is_component_space:
+        encodings = matrix
+    else:
+        encodings = pack_bipolar(matrix)
+    state = TrainingState(DIMENSION, backend=backend, context=context)
+    state.add_encodings(encodings, labels)
+    return state, matrix
+
+
+class TestAccumulation:
+    def test_add_encodings_matches_per_class_sums(self):
+        labels = ["a", "b", "a", "c", "b", "a"]
+        state, matrix = make_state(0, labels)
+        assert state.classes == ["a", "b", "c"]
+        assert state.num_samples == len(labels)
+        class_labels, class_ids = label_class_indices(labels)
+        for index, label in enumerate(class_labels):
+            expected = matrix[class_ids == index].astype(np.int64).sum(axis=0)
+            assert np.array_equal(state.accumulator(label), expected)
+            assert state.count(label) == int(np.sum(class_ids == index))
+
+    def test_add_encoding_negative_weight_decrements_count(self):
+        state = TrainingState(DIMENSION)
+        vector = random_hypervectors(1, DIMENSION, rng=1)[0]
+        state.add_encoding("a", vector)
+        state.add_encoding("a", vector, weight=-1.0)
+        assert state.count("a") == 0
+        assert np.array_equal(
+            state.accumulator("a"), np.zeros(DIMENSION, dtype=np.int64)
+        )
+
+    def test_length_mismatch_raises(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(ValueError, match="does not match"):
+            state.add_encodings(random_hypervectors(3, DIMENSION, rng=0), ["a", "b"])
+
+    def test_wrong_width_raises(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(ValueError, match="dimension"):
+            state.add_encodings(random_hypervectors(2, DIMENSION // 2, rng=0), ["a", "b"])
+
+    def test_accumulator_returns_copy(self):
+        state, _ = make_state(0, ["a", "a"])
+        state.accumulator("a")[:] = 0
+        assert state.accumulator("a").any()
+
+    def test_unknown_label_raises(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(KeyError):
+            state.accumulator("missing")
+
+
+class TestAccumulatorValidation:
+    def test_uint64_accumulator_rejected(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(ValueError, match="cast"):
+            state.add_accumulator("a", np.ones(DIMENSION, dtype=np.uint64), 1)
+
+    def test_float_accumulator_rejected(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(ValueError, match="cast"):
+            state.add_accumulator("a", np.ones(DIMENSION, dtype=np.float64), 1)
+
+    def test_wrong_shape_rejected(self):
+        state = TrainingState(DIMENSION)
+        with pytest.raises(ValueError, match="shape"):
+            state.add_accumulator("a", np.ones(DIMENSION // 2, dtype=np.int64), 1)
+
+    def test_small_integer_dtypes_cast_safely(self):
+        state = TrainingState(DIMENSION)
+        state.add_accumulator("a", np.ones(DIMENSION, dtype=np.int8), 1)
+        state.add_accumulator("a", np.ones(DIMENSION, dtype=np.int32), 1)
+        assert state.count("a") == 2
+        assert state.accumulator("a").dtype == np.int64
+
+    def test_packed_backend_flags_native_packed_vector(self):
+        # A raw packed hypervector handed over as an "accumulator" must get
+        # the pointed message, not a generic shape error.
+        packed = pack_bipolar(random_hypervectors(1, DIMENSION, rng=0))[0]
+        state = TrainingState(DIMENSION, backend="packed")
+        with pytest.raises(ValueError, match="packed hypervector"):
+            state.add_accumulator("a", packed, 1)
+
+
+class TestMergeAlgebra:
+    def test_merge_is_order_insensitive_on_values(self):
+        left, _ = make_state(0, ["a", "b", "a"])
+        right, _ = make_state(1, ["b", "c"])
+        forward = left.merge(right)
+        backward = right.merge(left)
+        # Same accumulators and counts either way; only listing order differs.
+        assert forward.classes == ["a", "b", "c"]
+        assert backward.classes == ["b", "c", "a"]
+        for label in forward.classes:
+            assert np.array_equal(
+                forward.accumulator(label), backward.accumulator(label)
+            )
+            assert forward.count(label) == backward.count(label)
+
+    def test_merge_is_associative(self):
+        a, _ = make_state(0, ["x", "y"])
+        b, _ = make_state(1, ["y", "z"])
+        c, _ = make_state(2, ["z", "x"])
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_merge_equals_joint_accumulation(self):
+        labels = ["a", "b", "a", "c", "b", "a", "c", "b"]
+        matrix = random_hypervectors(len(labels), DIMENSION, rng=3)
+        joint = TrainingState(DIMENSION).add_encodings(matrix, labels)
+        left = TrainingState(DIMENSION).add_encodings(matrix[:3], labels[:3])
+        right = TrainingState(DIMENSION).add_encodings(matrix[3:], labels[3:])
+        assert left.merge(right) == joint
+
+    def test_merge_does_not_mutate_operands(self):
+        left, _ = make_state(0, ["a"])
+        right, _ = make_state(1, ["a"])
+        before = left.accumulator("a")
+        left.merge(right)
+        assert np.array_equal(left.accumulator("a"), before)
+        assert left.count("a") == 1
+
+    def test_merge_update_is_in_place(self):
+        left, _ = make_state(0, ["a"])
+        right, _ = make_state(1, ["a", "b"])
+        result = left.merge_update(right)
+        assert result is left
+        assert left.classes == ["a", "b"]
+        assert left.count("a") == 2
+
+    def test_merge_states_folds_in_order(self):
+        states = [make_state(seed, ["a", "b"])[0] for seed in range(4)]
+        merged = merge_states(states)
+        assert merged.num_samples == 8
+        expected = states[0].merge(states[1]).merge(states[2]).merge(states[3])
+        assert merged == expected
+
+    def test_merge_states_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            merge_states([])
+
+
+class TestMergeCompatibility:
+    def test_dimension_mismatch(self):
+        left = TrainingState(DIMENSION)
+        right = TrainingState(DIMENSION * 2)
+        with pytest.raises(MergeError, match="dimension mismatch"):
+            left.merge(right)
+
+    def test_backend_mismatch(self):
+        left = TrainingState(DIMENSION, backend="dense")
+        right = TrainingState(DIMENSION, backend="packed")
+        with pytest.raises(MergeError, match="backend mismatch"):
+            left.merge(right)
+
+    def test_context_mismatch(self):
+        left = TrainingState(DIMENSION, context={"config": {"seed": 0}})
+        right = TrainingState(DIMENSION, context={"config": {"seed": 1}})
+        with pytest.raises(MergeError, match="context mismatch"):
+            left.merge(right)
+
+    def test_non_state_operand(self):
+        with pytest.raises(MergeError, match="TrainingState"):
+            TrainingState(DIMENSION).merge("not a state")
+
+    def test_none_context_is_wildcard_and_adopted(self):
+        context = {"encoder": "GraphHDEncoder", "config": {"seed": 0}}
+        left = TrainingState(DIMENSION)
+        right = TrainingState(DIMENSION, context=context)
+        merged = left.merge(right)
+        assert merged.context == context
+        # ... and merging the other way keeps the stamped context too.
+        assert right.merge(left).context == context
+
+
+class TestEqualityAndCopy:
+    def test_copy_is_independent(self):
+        state, _ = make_state(0, ["a", "b"])
+        duplicate = state.copy()
+        assert duplicate == state
+        duplicate.add_encoding("a", random_hypervectors(1, DIMENSION, rng=9)[0])
+        assert duplicate != state
+
+    def test_eq_checks_class_order(self):
+        left, _ = make_state(0, ["a", "b"])
+        right = TrainingState(DIMENSION)
+        # Same content, reversed insertion order.
+        for label in reversed(left.classes):
+            right.add_accumulator(label, left.accumulator(label), left.count(label))
+        assert left != right
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        context = {"encoder": "GraphHDEncoder", "config": {"seed": 7}}
+        state, _ = make_state(0, ["a", "b", "a"], context=context)
+        path = tmp_path / "state.npz"
+        state.save(path)
+        assert TrainingState.load(path) == state
+
+    def test_roundtrip_tuple_labels(self, tmp_path):
+        # Composite (label, cluster) keys used by the multi-centroid extension
+        # must survive the object-array trip without broadcasting.
+        state = TrainingState(DIMENSION)
+        state.add_accumulator(("a", 0), np.ones(DIMENSION, dtype=np.int64), 2)
+        state.add_accumulator(("a", 1), np.ones(DIMENSION, dtype=np.int64), 1)
+        path = tmp_path / "state.npz"
+        state.save(path)
+        loaded = TrainingState.load(path)
+        assert loaded.classes == [("a", 0), ("a", 1)]
+        assert loaded == state
+
+    def test_roundtrip_empty_state(self, tmp_path):
+        state = TrainingState(DIMENSION, backend="packed")
+        path = tmp_path / "state.npz"
+        state.save(path)
+        loaded = TrainingState.load(path)
+        assert loaded == state
+        assert loaded.classes == []
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, payload=np.arange(3))
+        with pytest.raises(ValueError, match="not a TrainingState archive"):
+            TrainingState.load(path)
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "model-ish.npz"
+        np.savez(path, format_version=np.int64(1), kind="graphhd_model")
+        with pytest.raises(ValueError, match="GraphHDClassifier.load"):
+            TrainingState.load(path)
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        state, _ = make_state(0, ["a"])
+        path = tmp_path / "state.npz"
+        state.save(path)
+        with np.load(path, allow_pickle=True) as data:
+            payload = dict(data)
+        payload["format_version"] = np.int64(999)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="found 999, expected 1"):
+            TrainingState.load(path)
+
+
+class TestFinalize:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_finalize_builds_queryable_memory(self, backend):
+        labels = [0, 1] * 8
+        state, matrix = make_state(5, labels, backend=backend)
+        memory = state.finalize()
+        assert isinstance(memory, AssociativeMemory)
+        assert memory.classes == [0, 1]
+        queries = matrix if backend == "dense" else pack_bipolar(matrix)
+        # Class vectors dominate their own training samples.
+        predictions = memory.query_many(queries)
+        assert predictions == labels
+
+    def test_finalize_is_a_snapshot(self):
+        state, _ = make_state(0, ["a", "b"])
+        memory = state.finalize()
+        state.add_encoding("a", random_hypervectors(1, DIMENSION, rng=2)[0])
+        assert memory.count("a") == state.count("a") - 1

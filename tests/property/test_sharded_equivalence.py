@@ -1,0 +1,239 @@
+"""Property tests: sharded map-reduce training is single-shot training.
+
+The headline contract of the TrainingState redesign, checked here from three
+angles:
+
+* **Shard counts**: for k in {1, 2, 4, 7}, ``fit_sharded`` produces class
+  vectors bit-identical to single-shot ``fit`` on the full training set, on
+  the dense and the packed backend alike, and merging contiguous shards in
+  shard order reproduces even the class listing order (hence tie-breaking).
+* **Arbitrary partitions** (hypothesis): any partition of the samples into
+  shards — shuffled, class-skewed, wildly unbalanced — merges to the joint
+  accumulators and counts, in any merge order.
+* **Online updates**: ``partial_fit_many`` equals per-sample ``partial_fit``
+  equals batch ``fit``, including for the ``"random"`` centrality ablation
+  (whose stream consumption is per-graph, hence batch-invariant — it is
+  *sharding* across fresh models that random centrality cannot survive, which
+  ``fit_sharded`` rejects).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval.sharded import fit_sharded, shard_indices
+from repro.graphs.generators import ring_of_cliques_graph, tree_graph
+from repro.hdc.classifier import CentroidClassifier
+from repro.hdc.hypervector import random_hypervectors
+from repro.hdc.training_state import TrainingState, merge_states
+
+DIMENSION = 512
+
+
+@functools.lru_cache(maxsize=None)
+def toy_dataset():
+    """30 clearly separable graphs (cached: encodings are re-derived per test)."""
+    rng = np.random.default_rng(7)
+    graphs = []
+    for index in range(30):
+        if index % 2 == 0:
+            graphs.append(ring_of_cliques_graph(4, 4, rng=rng, graph_label=0))
+        else:
+            graphs.append(tree_graph(16, max_children=2, rng=rng, graph_label=1))
+    return graphs, [graph.graph_label for graph in graphs]
+
+
+def make_factory(backend):
+    return lambda: GraphHDClassifier(
+        GraphHDConfig(dimension=DIMENSION, seed=0, backend=backend)
+    )
+
+
+def assert_same_class_vectors(model, reference, *, same_order=True):
+    if same_order:
+        assert model.classes == reference.classes
+    else:
+        assert sorted(map(str, model.classes)) == sorted(map(str, reference.classes))
+    for label in reference.classes:
+        assert np.array_equal(
+            model.classifier.memory._accumulators[label],
+            reference.classifier.memory._accumulators[label],
+        )
+        assert model.classifier.memory.count(label) == reference.classifier.memory.count(
+            label
+        )
+
+
+class TestShardCounts:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_sharded_fit_bit_identical(self, backend, n_shards):
+        graphs, labels = toy_dataset()
+        factory = make_factory(backend)
+        single = factory().fit(graphs, labels)
+        result = fit_sharded(factory, graphs, labels, n_shards=n_shards)
+        assert_same_class_vectors(result.model, single)
+        assert result.model.predict(graphs) == single.predict(graphs)
+        assert result.state.num_samples == len(graphs)
+        assert sum(result.shard_sizes) == len(graphs)
+
+    def test_sharded_fit_bit_identical_under_worker_pool(self):
+        graphs, labels = toy_dataset()
+        factory = make_factory("dense")
+        single = factory().fit(graphs, labels)
+        result = fit_sharded(factory, graphs, labels, n_shards=4, n_jobs=2)
+        assert_same_class_vectors(result.model, single)
+
+    def test_more_shards_than_samples(self):
+        graphs, labels = toy_dataset()
+        factory = make_factory("dense")
+        single = factory().fit(graphs[:3], labels[:3])
+        result = fit_sharded(factory, graphs[:3], labels[:3], n_shards=7)
+        assert result.shard_sizes == [1, 1, 1]
+        assert_same_class_vectors(result.model, single)
+
+    def test_class_skewed_shards(self):
+        # Sort so early shards see only class 0 and late shards only class 1;
+        # the merged model must not care.
+        graphs, labels = toy_dataset()
+        order = sorted(range(len(labels)), key=lambda i: labels[i])
+        skewed_graphs = [graphs[i] for i in order]
+        skewed_labels = [labels[i] for i in order]
+        factory = make_factory("dense")
+        single = factory().fit(skewed_graphs, skewed_labels)
+        result = fit_sharded(factory, skewed_graphs, skewed_labels, n_shards=4)
+        assert_same_class_vectors(result.model, single)
+
+    def test_random_centrality_rejected(self):
+        graphs, labels = toy_dataset()
+        factory = lambda: GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, centrality="random")
+        )
+        with pytest.raises(ValueError, match="split-invariant"):
+            fit_sharded(factory, graphs, labels, n_shards=2)
+
+    def test_unseeded_config_rejected(self):
+        graphs, labels = toy_dataset()
+        factory = lambda: GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=None)
+        )
+        with pytest.raises(ValueError, match="seeded"):
+            fit_sharded(factory, graphs, labels, n_shards=2)
+
+
+class TestArbitraryPartitions:
+    @given(seed=st.integers(0, 2**31 - 1), n_shards=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_any_partition_any_merge_order_equals_joint(self, seed, n_shards):
+        rng = np.random.default_rng(seed)
+        num_samples = 20
+        labels = [int(l) for l in rng.integers(0, 3, size=num_samples)]
+        matrix = random_hypervectors(num_samples, DIMENSION, rng=seed)
+        joint = TrainingState(DIMENSION).add_encodings(matrix, labels)
+
+        permutation = rng.permutation(num_samples)
+        shards = np.array_split(permutation, n_shards)
+        states = [
+            TrainingState(DIMENSION).add_encodings(
+                matrix[block], [labels[i] for i in block]
+            )
+            for block in shards
+            if block.size
+        ]
+        rng.shuffle(states)
+        merged = merge_states(states)
+        # Accumulators and counts equal the joint fit for every partition and
+        # merge order; only the class listing order may differ.
+        assert set(map(str, merged.classes)) == set(map(str, joint.classes))
+        for label in joint.classes:
+            assert np.array_equal(merged.accumulator(label), joint.accumulator(label))
+            assert merged.count(label) == joint.count(label)
+        assert merged.num_samples == joint.num_samples
+
+    @given(n_shards=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_contiguous_shards_in_order_preserve_class_order(self, n_shards):
+        num_samples = 24
+        rng = np.random.default_rng(99)
+        labels = [int(l) for l in rng.integers(0, 4, size=num_samples)]
+        matrix = random_hypervectors(num_samples, DIMENSION, rng=99)
+        joint = TrainingState(DIMENSION).add_encodings(matrix, labels)
+        states = [
+            TrainingState(DIMENSION).add_encodings(
+                matrix[block], [labels[i] for i in block]
+            )
+            for block in shard_indices(num_samples, n_shards)
+            if block.size
+        ]
+        assert merge_states(states) == joint
+
+
+class TestOnlineEquivalence:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_partial_fit_many_equals_singular(self, backend):
+        graphs, labels = toy_dataset()
+        factory = make_factory(backend)
+        singular = factory()
+        for graph, label in zip(graphs, labels):
+            singular.partial_fit(graph, label)
+        batched = factory()
+        batched.partial_fit_many(graphs, labels)
+        assert_same_class_vectors(batched, singular)
+
+    def test_partial_fit_many_equals_fit(self):
+        graphs, labels = toy_dataset()
+        factory = make_factory("dense")
+        fitted = factory().fit(graphs, labels)
+        batched = factory()
+        batched.partial_fit_many(graphs, labels)
+        assert_same_class_vectors(batched, fitted)
+
+    def test_partial_fit_random_centrality_batch_invariant(self):
+        # Random centrality consumes its stream per graph, so batching does
+        # not change encodings — only sharding across fresh models does.
+        graphs, labels = toy_dataset()
+        factory = lambda: GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, centrality="random")
+        )
+        singular = factory()
+        for graph, label in zip(graphs[:8], labels[:8]):
+            singular.partial_fit(graph, label)
+        batched = factory()
+        batched.partial_fit_many(graphs[:8], labels[:8])
+        assert_same_class_vectors(batched, singular)
+
+    @given(split=st.integers(1, 29))
+    @settings(max_examples=15, deadline=None)
+    def test_fit_then_partial_fit_many_equals_full_fit(self, split):
+        graphs, labels = toy_dataset()
+        factory = make_factory("dense")
+        full = factory().fit(graphs, labels)
+        staged = factory().fit(graphs[:split], labels[:split])
+        staged.partial_fit_many(graphs[split:], labels[split:])
+        assert_same_class_vectors(staged, full, same_order=False)
+
+
+class TestCentroidClassifierBatch:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_partial_fit_many_equals_singular_on_encodings(self, seed):
+        rng = np.random.default_rng(seed)
+        count = 1 + seed % 12
+        labels = [int(l) for l in rng.integers(0, 3, size=count)]
+        matrix = random_hypervectors(count, DIMENSION, rng=seed)
+        singular = CentroidClassifier(DIMENSION)
+        for row, label in zip(matrix, labels):
+            singular.partial_fit(row, label)
+        batched = CentroidClassifier(DIMENSION)
+        batched.partial_fit_many(matrix, labels)
+        assert batched.classes == singular.classes
+        for label in singular.classes:
+            assert np.array_equal(
+                batched.memory._accumulators[label],
+                singular.memory._accumulators[label],
+            )

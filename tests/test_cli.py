@@ -469,3 +469,117 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "accuracy (mean)" in output
+
+
+class TestTrainCommand:
+    def test_train_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_train_shard_parses(self):
+        args = build_parser().parse_args(
+            [
+                "train", "shard",
+                "--dataset", "MUTAG",
+                "--shard-index", "1",
+                "--num-shards", "4",
+                "--output", "s1.npz",
+                "--backend", "packed",
+            ]
+        )
+        assert args.command == "train"
+        assert args.train_action == "shard"
+        assert args.shard_index == 1
+        assert args.num_shards == 4
+        assert args.output == "s1.npz"
+        assert args.backend == "packed"
+
+    def test_train_merge_parses(self):
+        args = build_parser().parse_args(
+            ["train", "merge", "a.npz", "b.npz", "--output", "model.npz"]
+        )
+        assert args.train_action == "merge"
+        assert args.states == ["a.npz", "b.npz"]
+        assert args.state_output is None
+
+    def test_train_info_parses(self):
+        args = build_parser().parse_args(["train", "info", "state.npz"])
+        assert args.train_action == "info"
+        assert args.path == "state.npz"
+
+    def test_shard_index_out_of_range(self, tmp_path):
+        with pytest.raises(SystemExit, match="shard-index"):
+            main(
+                [
+                    "train", "shard",
+                    "--shard-index", "2",
+                    "--num-shards", "2",
+                    "--output", str(tmp_path / "s.npz"),
+                ]
+            )
+
+    def test_shard_merge_info_end_to_end(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.core.encoding import GraphHDConfig
+        from repro.core.model import GraphHDClassifier
+        from repro.datasets.registry import load_dataset
+
+        common = ["--dataset", "MUTAG", "--scale", "0.2", "--dimension", "512"]
+        shard_paths = [str(tmp_path / f"s{i}.npz") for i in range(2)]
+        store = str(tmp_path / "store")
+        for index, path in enumerate(shard_paths):
+            assert main(
+                [
+                    "train", "shard", *common,
+                    "--shard-index", str(index),
+                    "--num-shards", "2",
+                    "--output", path,
+                    "--encoding-store", store,
+                ]
+            ) == 0
+        output = capsys.readouterr().out
+        # The second shard must reuse the first shard's cached encodings.
+        assert "hits=1" in output
+
+        model_path = str(tmp_path / "model.npz")
+        merged_path = str(tmp_path / "merged.npz")
+        assert main(
+            [
+                "train", "merge", *shard_paths,
+                "--output", model_path,
+                "--state-output", merged_path,
+            ]
+        ) == 0
+        assert "shards merged" in capsys.readouterr().out
+
+        assert main(["train", "info", merged_path]) == 0
+        info = capsys.readouterr().out
+        assert "GraphHDEncoder" in info
+        assert "dimension" in info
+
+        # The merged model is bit-identical to a single-shot fit.
+        dataset = load_dataset("MUTAG", scale=0.2, seed=0)
+        single = GraphHDClassifier(GraphHDConfig(dimension=512, seed=0)).fit(
+            dataset.graphs, dataset.labels
+        )
+        merged = GraphHDClassifier.load(model_path)
+        assert merged.classes == single.classes
+        for label in single.classes:
+            assert np.array_equal(
+                merged.classifier.memory._accumulators[label],
+                single.classifier.memory._accumulators[label],
+            )
+        assert merged.predict(dataset.graphs) == single.predict(dataset.graphs)
+
+    def test_merge_rejects_context_free_state(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.hdc.training_state import TrainingState
+
+        state = TrainingState(512)
+        state.add_accumulator("a", np.ones(512, dtype=np.int64), 1)
+        path = str(tmp_path / "bare.npz")
+        state.save(path)
+        with pytest.raises(SystemExit, match="context"):
+            main(["train", "merge", path, "--output", str(tmp_path / "m.npz")])
