@@ -1,0 +1,232 @@
+"""Carry-save packed training kernels benchmark (perf trajectory).
+
+Measures what the bit-sliced carry-save kernels buy the packed backend's
+*training* side and merges the numbers into ``BENCH_encoding.json`` under the
+``bitslice_kernels`` key:
+
+* **training vs inference throughput** — vectors/second through the packed
+  training path (segmented carry-save accumulation + word-space majority
+  vote) against queries/second through the packed inference path (popcount
+  Hamming + argmax), the issue's headline target being training within 2x of
+  inference;
+* **carry-save vs legacy unpack kernels** — the same training workload run
+  through the pre-bitslice kernels (``np.unpackbits`` per block, int64
+  component-space accumulation), re-implemented here verbatim as the
+  measurement baseline;
+* **popcount implementations** — ``np.bitwise_count`` (when the running
+  NumPy provides it) against the byte-LUT fallback, plus which one the
+  backend actually dispatches to.
+
+All timed kernels are asserted bit-identical before the clocks start: a
+fast wrong kernel must fail here, not in production.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import print_report
+from repro.eval.reporting import render_table
+from repro.hdc.backend import (
+    POPCOUNT_IMPLEMENTATION,
+    get_backend,
+    pack_bipolar,
+    popcount,
+    popcount_lut,
+)
+from repro.hdc.hypervector import random_hypervectors
+from repro.hdc.operations import normalize_hard
+
+DIMENSION = 10_000
+NUM_VECTORS = 2_048
+NUM_CLASSES = 8
+LEGACY_BLOCK_ROWS = 256
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_encoding.json"
+)
+
+_RESULTS: dict = {}
+
+
+def _flush_results() -> None:
+    """Merge this module's measurements into the shared benchmark file."""
+    path = os.path.abspath(BENCH_FILE)
+    payload: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload["bitslice_kernels"] = {
+        "generated_by": "benchmarks/test_bitslice_kernels.py",
+        "dimension": DIMENSION,
+        **_RESULTS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _best_of(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------------
+# The pre-bitslice packed training kernels, reproduced as the measurement
+# baseline: every block of packed words is expanded to a per-component bit
+# matrix with np.unpackbits (the 8-64x transient blowup the carry-save
+# kernels eliminate) and accumulated in int64 component space.
+# --------------------------------------------------------------------------
+def _legacy_unpack_bits(block: np.ndarray, dimension: int) -> np.ndarray:
+    bytes_view = np.ascontiguousarray(block).view(np.uint8)
+    return np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :dimension]
+
+
+def _legacy_segment_accumulate(
+    matrix: np.ndarray, sorted_ids: np.ndarray, num_segments: int, dimension: int
+) -> np.ndarray:
+    output = np.zeros((num_segments, dimension), dtype=np.int64)
+    unique_ids, starts = np.unique(sorted_ids, return_index=True)
+    boundaries = np.append(starts, len(sorted_ids))
+    for index, segment in enumerate(unique_ids):
+        lo, hi = boundaries[index], boundaries[index + 1]
+        for start in range(lo, hi, LEGACY_BLOCK_ROWS):
+            block = matrix[start : min(start + LEGACY_BLOCK_ROWS, hi)]
+            bits = _legacy_unpack_bits(block, dimension)
+            output[segment] += block.shape[0] - 2 * bits.sum(
+                axis=0, dtype=np.int64
+            )
+    return output
+
+
+def _legacy_normalize(accumulators: np.ndarray) -> np.ndarray:
+    return pack_bipolar(normalize_hard(accumulators, rng=0))
+
+
+def test_training_vs_inference_throughput(profile):
+    packed = get_backend("packed")
+    matrix = random_hypervectors(NUM_VECTORS, DIMENSION, rng=profile.seed)
+    words = pack_bipolar(matrix)
+    ids = np.sort(
+        np.random.default_rng(profile.seed).integers(
+            0, NUM_CLASSES, size=NUM_VECTORS
+        )
+    )
+    references = packed.random(NUM_CLASSES, DIMENSION, rng=profile.seed + 1)
+
+    def train_carry_save():
+        sums = packed.segment_accumulate(words, ids, NUM_CLASSES, DIMENSION)
+        return packed.normalize(sums, rng=0)
+
+    def train_legacy():
+        sums = _legacy_segment_accumulate(words, ids, NUM_CLASSES, DIMENSION)
+        return _legacy_normalize(sums)
+
+    def infer():
+        scores = packed.similarity_matrix(
+            words, references, DIMENSION, metric="cosine"
+        )
+        return np.argmax(scores, axis=1)
+
+    # Correctness before clocks: the carry-save path must reproduce the
+    # legacy unpack path bit for bit (same class sums, same tie stream).
+    assert np.array_equal(train_carry_save(), train_legacy())
+
+    train_seconds = _best_of(train_carry_save)
+    legacy_seconds = _best_of(train_legacy)
+    infer_seconds = _best_of(infer)
+
+    train_throughput = NUM_VECTORS / train_seconds
+    infer_throughput = NUM_VECTORS / infer_seconds
+    ratio = infer_throughput / train_throughput
+    legacy_speedup = legacy_seconds / train_seconds
+
+    _RESULTS["training_vs_inference"] = {
+        "num_vectors": NUM_VECTORS,
+        "num_classes": NUM_CLASSES,
+        "train_seconds": round(train_seconds, 4),
+        "legacy_unpack_train_seconds": round(legacy_seconds, 4),
+        "inference_seconds": round(infer_seconds, 4),
+        "train_vectors_per_second": round(train_throughput),
+        "inference_queries_per_second": round(infer_throughput),
+        "inference_to_training_ratio": round(ratio, 2),
+        "carry_save_speedup_vs_unpack": round(legacy_speedup, 2),
+        "identical_results": True,
+    }
+    _flush_results()
+    print_report(
+        f"Carry-save packed training kernels: {NUM_VECTORS} vectors, "
+        f"{NUM_CLASSES} classes, d={DIMENSION}",
+        render_table(
+            ["kernel", "seconds", "throughput"],
+            [
+                [
+                    "train (carry-save segment + word vote)",
+                    f"{train_seconds:.4f}",
+                    f"{train_throughput:,.0f} vec/s",
+                ],
+                [
+                    "train (legacy unpackbits kernels)",
+                    f"{legacy_seconds:.4f}",
+                    f"{NUM_VECTORS / legacy_seconds:,.0f} vec/s",
+                ],
+                [
+                    "inference (popcount Hamming + argmax)",
+                    f"{infer_seconds:.4f}",
+                    f"{infer_throughput:,.0f} qry/s",
+                ],
+            ],
+        ),
+    )
+    # The issue's acceptance bar: training within 2x of inference, or — where
+    # that is hardware-limited — an honestly recorded >=3x win over the
+    # legacy unpack kernels.
+    assert ratio <= 2.0 or legacy_speedup >= 3.0, (
+        f"carry-save training is {ratio:.2f}x slower than inference and only "
+        f"{legacy_speedup:.2f}x faster than the legacy unpack kernels"
+    )
+
+
+def test_popcount_implementations(profile):
+    rng = np.random.default_rng(profile.seed)
+    words = rng.integers(0, 2**64, size=(2_048, DIMENSION // 64), dtype=np.uint64)
+
+    assert np.array_equal(
+        popcount(words).astype(np.int64), popcount_lut(words).astype(np.int64)
+    )
+
+    active_seconds = _best_of(lambda: popcount(words).sum(axis=1, dtype=np.int64))
+    lut_seconds = _best_of(lambda: popcount_lut(words).sum(axis=1, dtype=np.int64))
+
+    _RESULTS["popcount"] = {
+        "active_implementation": POPCOUNT_IMPLEMENTATION,
+        "num_words": int(words.size),
+        "active_seconds": round(active_seconds, 5),
+        "byte_lut_seconds": round(lut_seconds, 5),
+        "active_speedup_vs_lut": round(lut_seconds / active_seconds, 2),
+    }
+    _flush_results()
+    print_report(
+        f"Popcount implementations ({words.size:,} words)",
+        render_table(
+            ["implementation", "seconds"],
+            [
+                [f"active ({POPCOUNT_IMPLEMENTATION})", f"{active_seconds:.5f}"],
+                ["byte-lut fallback", f"{lut_seconds:.5f}"],
+            ],
+        ),
+    )
+    # The active implementation must never be meaningfully slower than the
+    # portable fallback it was preferred over.
+    assert active_seconds <= lut_seconds * 1.5

@@ -106,6 +106,12 @@ def test_shard_count_scaling(profile):
         sweep[str(n_shards)] = {
             "seconds": round(elapsed, 4),
             "speedup_vs_single_shot": round(speedup, 2),
+            # Recorded per entry so a sub-1x speedup on a small host reads as
+            # what it is — a core-starved measurement, not a regression; the
+            # speedup expectation below is only asserted when the host can
+            # actually run this many workers concurrently.
+            "usable_cores": cores,
+            "cores_sufficient": bool(cores >= min(n_shards, N_JOBS)),
         }
         rows.append(
             [f"fit_sharded (k={n_shards})", n_shards, f"{elapsed:.3f}", f"{speedup:.2f}x"]

@@ -15,16 +15,29 @@ This subpackage implements the HDC machinery that GraphHD builds on:
 * :mod:`repro.hdc.backend` — pluggable compute backends: the dense int8
   bipolar backend (the paper's formulation) and a bit-packed ``uint64`` binary
   backend (XOR binding, popcount Hamming similarity, ~8x less memory).
+* :mod:`repro.hdc.bitslice` — bit-sliced carry-save accumulators: the
+  word-space arithmetic the packed backend's training kernels (bundling,
+  segmented accumulation, majority vote) are built on.
 """
 
 from repro.hdc.backend import (
     BACKEND_NAMES,
+    POPCOUNT_IMPLEMENTATION,
     DenseBackend,
     HDCBackend,
     PackedBackend,
     get_backend,
     pack_bipolar,
     unpack_to_bipolar,
+)
+from repro.hdc.bitslice import (
+    BitSliceAccumulator,
+    bitslice_reduce,
+    bitslice_segment_reduce,
+    bitslice_to_counts,
+    counts_to_bitslice,
+    majority_vote_words,
+    rotate_components,
 )
 from repro.hdc.hypervector import (
     DEFAULT_DIMENSION,
@@ -58,6 +71,14 @@ __all__ = [
     "get_backend",
     "pack_bipolar",
     "unpack_to_bipolar",
+    "POPCOUNT_IMPLEMENTATION",
+    "BitSliceAccumulator",
+    "bitslice_reduce",
+    "bitslice_segment_reduce",
+    "bitslice_to_counts",
+    "counts_to_bitslice",
+    "majority_vote_words",
+    "rotate_components",
     "DEFAULT_DIMENSION",
     "random_bipolar",
     "random_binary",

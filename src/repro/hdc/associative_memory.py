@@ -195,10 +195,16 @@ class AssociativeMemory:
         packed storage re-packs the normalized class vectors so the popcount
         similarity kernel can compare them against native queries.
         """
-        references = self._reference_matrix()
         if self.backend.is_component_space:
-            return references
-        return self.backend.pack(references)
+            return self._reference_matrix()
+        # Packed storage: majority-vote each accumulator directly in word
+        # space.  One rng stream per class keeps the tie-breaking draws
+        # bit-identical to class_vector's per-class normalize_hard(acc, rng=0).
+        rows = [
+            self.backend.normalize(accumulator, rng=0)
+            for accumulator in self._accumulators.values()
+        ]
+        return np.vstack(rows)
 
     def similarities(
         self, queries: Sequence[np.ndarray] | np.ndarray

@@ -26,6 +26,12 @@ only storage and instruction mix differ.
 Accumulators (un-normalized bundles) are backend-independent: both backends
 accumulate into plain ``int64`` component-space arrays, so retraining,
 online learning and robustness corruption work unchanged on either backend.
+The packed backend's *training-side* kernels (accumulation, segmented
+accumulation, majority vote, bundling) run on the bit-sliced carry-save
+arithmetic of :mod:`repro.hdc.bitslice`, so bundling stays in ``uint64``
+word space end to end and only converts to the ``int64`` exchange format at
+the accumulator boundary — the per-row ``np.unpackbits`` expansion (an
+8-64x transient memory blowup) is gone from the training hot path.
 """
 
 from __future__ import annotations
@@ -35,6 +41,18 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.hdc.bitslice import (
+    PACKED_DTYPE,
+    WORD_BITS,
+    bitslice_reduce,
+    bitslice_segment_reduce,
+    bitslice_to_counts,
+    majority_vote_words,
+    pack_bits,
+    packed_words,
+    rotate_components,
+    scatter_random_tie_bits,
+)
 from repro.hdc.hypervector import (
     ACCUMULATOR_DTYPE,
     HV_DTYPE,
@@ -42,21 +60,25 @@ from repro.hdc.hypervector import (
     random_bipolar,
     random_hypervectors,
 )
-from repro.hdc.operations import normalize_hard, permute
+from repro.hdc.operations import normalize_hard, permute, random_tie_signs
 from repro.hdc.operations import similarity_matrix as dense_similarity_matrix
 
-#: Number of hypervector components stored per packed word.
-WORD_BITS = 64
-
-#: Storage dtype of the packed backend.
-PACKED_DTYPE = np.uint64
-
-
-def packed_words(dimension: int) -> int:
-    """Number of ``uint64`` words needed to store ``dimension`` components."""
-    if dimension <= 0:
-        raise ValueError(f"dimension must be positive, got {dimension}")
-    return (dimension + WORD_BITS - 1) // WORD_BITS
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "DenseBackend",
+    "HDCBackend",
+    "PACKED_DTYPE",
+    "POPCOUNT_IMPLEMENTATION",
+    "PackedBackend",
+    "WORD_BITS",
+    "get_backend",
+    "pack_bipolar",
+    "packed_words",
+    "popcount",
+    "popcount_lut",
+    "unpack_to_bipolar",
+]
 
 
 def pack_bipolar(bipolar: np.ndarray) -> np.ndarray:
@@ -74,19 +96,7 @@ def pack_bipolar(bipolar: np.ndarray) -> np.ndarray:
     array = np.asarray(bipolar)
     single = array.ndim == 1
     matrix = np.atleast_2d(array)
-    count, dimension = matrix.shape
-    bits = (matrix < 0).astype(np.uint8)
-    packed_bytes = np.packbits(bits, axis=1, bitorder="little")
-    padded = packed_words(dimension) * (WORD_BITS // 8)
-    if packed_bytes.shape[1] < padded:
-        packed_bytes = np.concatenate(
-            [
-                packed_bytes,
-                np.zeros((count, padded - packed_bytes.shape[1]), dtype=np.uint8),
-            ],
-            axis=1,
-        )
-    words = np.ascontiguousarray(packed_bytes).view(PACKED_DTYPE)
+    words = pack_bits(matrix < 0, matrix.shape[1])
     return words[0] if single else words
 
 
@@ -106,22 +116,35 @@ def unpack_to_bipolar(packed: np.ndarray, dimension: int) -> np.ndarray:
     return bipolar[0] if single else bipolar
 
 
+_BYTE_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Per-element population count via a byte lookup table.
+
+    The portable fallback: works on every NumPy, at the cost of a transient
+    byte expansion.  Kept importable (not just as a conditional ``popcount``
+    body) so its throughput can be benchmarked against the native kernel.
+    """
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    counts = _BYTE_POPCOUNT[as_bytes].astype(np.uint64)
+    return counts.reshape(words.shape + (words.dtype.itemsize,)).sum(axis=-1)
+
+
 if hasattr(np, "bitwise_count"):
 
     def popcount(words: np.ndarray) -> np.ndarray:
-        """Per-element population count of an unsigned integer array."""
+        """Per-element population count via the native ``np.bitwise_count``."""
         return np.bitwise_count(words)
 
+    #: Which population-count kernel ``popcount`` dispatches to on this host;
+    #: recorded by the kernel benchmarks so measured numbers are attributable.
+    POPCOUNT_IMPLEMENTATION = "numpy.bitwise_count"
 else:  # pragma: no cover - NumPy < 2 fallback
-    _BYTE_POPCOUNT = np.array(
-        [bin(value).count("1") for value in range(256)], dtype=np.uint8
-    )
-
-    def popcount(words: np.ndarray) -> np.ndarray:
-        """Per-element population count via a byte lookup table."""
-        as_bytes = np.ascontiguousarray(words).view(np.uint8)
-        counts = _BYTE_POPCOUNT[as_bytes].astype(np.uint64)
-        return counts.reshape(words.shape + (words.dtype.itemsize,)).sum(axis=-1)
+    popcount = popcount_lut
+    POPCOUNT_IMPLEMENTATION = "byte-lut"
 
 
 class HDCBackend(ABC):
@@ -477,10 +500,8 @@ class PackedBackend(HDCBackend):
     dtype = PACKED_DTYPE
     is_component_space = False
 
-    #: Rows unpacked per block when accumulating, bounding transient memory.
-    ACCUMULATE_BLOCK_ROWS = 4096
-
-    #: Queries processed per block in the popcount similarity kernel.
+    #: Queries processed per block in the popcount similarity kernel; also
+    #: the row count of the preallocated XOR scratch buffer.
     SIMILARITY_BLOCK_ROWS = 64
 
     def storage_width(self, dimension: int) -> int:
@@ -520,16 +541,13 @@ class PackedBackend(HDCBackend):
         count = matrix.shape[0]
         if count == 0:
             return np.zeros(dimension, dtype=ACCUMULATOR_DTYPE)
-        # Per-bit integer accumulation: count the -1 bits per component in
-        # blocks (bounding the transient unpacked memory), then convert the
-        # counts to the signed bipolar sum  (#+1) - (#-1) = n - 2 * counts.
-        negative_counts = np.zeros(dimension, dtype=ACCUMULATOR_DTYPE)
-        for start in range(0, count, self.ACCUMULATE_BLOCK_ROWS):
-            block = matrix[start : start + self.ACCUMULATE_BLOCK_ROWS]
-            bytes_view = np.ascontiguousarray(block).view(np.uint8)
-            bits = np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :dimension]
-            negative_counts += bits.sum(axis=0, dtype=ACCUMULATOR_DTYPE)
-        return count - 2 * negative_counts
+        # Carry-save bundling: reduce the packed rows to ceil(log2(n + 1))
+        # bit-sliced count planes entirely in word space, then convert the
+        # counts to the signed bipolar sum (#+1) - (#-1) = n - 2 * counts.
+        # The boundary conversion touches O(log n) planes, not the O(n)
+        # unpacked bit matrix the pre-bitslice kernel expanded.
+        planes = bitslice_reduce(matrix)
+        return count - 2 * bitslice_to_counts(planes, dimension)
 
     def _segment_accumulate_sorted(
         self,
@@ -538,25 +556,18 @@ class PackedBackend(HDCBackend):
         output: np.ndarray,
         dimension: int,
     ) -> None:
-        # Per-bitplane accumulation in row blocks: unpack each block's words
-        # to component bits (bounding transient memory), count the -1 bits
-        # per contiguous segment slice, and convert to the signed sum
-        # (#+1) - (#-1) = rows_in_segment - 2 * negative_counts.  A segment
-        # spanning two blocks simply receives two partial sums.
+        # All segments are reduced simultaneously by the paired-run
+        # carry-save tree (adjacent same-segment counters merge level by
+        # level with one vectorized full-adder pass each), then every
+        # present segment converts its log-depth planes to the signed sum
+        # (#+1) - (#-1) = rows_in_segment - 2 * counts in one batch.
         matrix = np.asarray(native_matrix, dtype=PACKED_DTYPE)
-        count = matrix.shape[0]
-        for start in range(0, count, self.ACCUMULATE_BLOCK_ROWS):
-            block = matrix[start : start + self.ACCUMULATE_BLOCK_ROWS]
-            block_ids = sorted_ids[start : start + self.ACCUMULATE_BLOCK_ROWS]
-            bytes_view = np.ascontiguousarray(block).view(np.uint8)
-            bits = np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :dimension]
-            unique_ids, segment_starts = np.unique(block_ids, return_index=True)
-            boundaries = np.append(segment_starts, len(block_ids))
-            for index, segment in enumerate(unique_ids):
-                segment_bits = bits[boundaries[index] : boundaries[index + 1]]
-                output[segment] += segment_bits.shape[0] - 2 * segment_bits.sum(
-                    axis=0, dtype=ACCUMULATOR_DTYPE
-                )
+        unique_ids, planes, row_counts = bitslice_segment_reduce(matrix, sorted_ids)
+        if unique_ids.size == 0:
+            return
+        output[unique_ids] += row_counts[:, None] - 2 * bitslice_to_counts(
+            planes, dimension
+        )
 
     def normalize(
         self,
@@ -565,9 +576,55 @@ class PackedBackend(HDCBackend):
         tie_breaker: np.ndarray | None = None,
         rng: int | np.random.Generator | None = None,
     ) -> np.ndarray:
-        # Reuse the dense majority vote (including its tie-breaking rules) so
-        # a packed bundle is exactly the packing of the dense bundle.
-        return pack_bipolar(normalize_hard(accumulator, tie_breaker=tie_breaker, rng=rng))
+        # Word-space majority vote over the component-space exchange format:
+        # the negative components pack straight into sign bits; ties (exact
+        # zeros) copy the tie-breaker's packed bits or draw from the same
+        # random stream as the dense vote, so a packed bundle is exactly the
+        # packing of the dense bundle — no int8 sign vector materialized.
+        array = np.asarray(accumulator)
+        single = array.ndim == 1
+        matrix = np.atleast_2d(array)
+        dimension = matrix.shape[-1]
+        votes = pack_bits(matrix < 0, dimension)
+        ties = matrix == 0
+        if np.any(ties):
+            if tie_breaker is not None:
+                tie_breaker = np.asarray(tie_breaker)
+                if tie_breaker.shape != array.shape[-tie_breaker.ndim :]:
+                    raise ValueError(
+                        f"tie_breaker shape {tie_breaker.shape} does not match "
+                        f"accumulator shape {array.shape}"
+                    )
+                breaker_bits = pack_bits(
+                    np.broadcast_to(tie_breaker < 0, matrix.shape), dimension
+                )
+                votes |= pack_bits(ties, dimension) & breaker_bits
+            else:
+                scatter_random_tie_bits(votes, ties, dimension, rng)
+        return votes[0] if single else votes
+
+    def bundle(
+        self,
+        native_matrix: np.ndarray,
+        dimension: int,
+        *,
+        tie_breaker: np.ndarray | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Bundle packed hypervectors without ever leaving word space.
+
+        Carry-save reduction straight into the word-space majority vote: the
+        per-component counts live as bit-sliced planes and the vote compares
+        them against ``n // 2`` with the bitwise comparator — no ``int64``
+        component-space accumulator is materialized.  Bit-for-bit identical
+        to ``normalize(accumulate(...))`` on either backend, including the
+        tie-breaking stream.
+        """
+        matrix = np.atleast_2d(np.asarray(native_matrix, dtype=PACKED_DTYPE))
+        planes = bitslice_reduce(matrix)
+        return majority_vote_words(
+            planes, matrix.shape[0], dimension, tie_breaker=tie_breaker, rng=rng
+        )
 
     def validate_accumulator(
         self, accumulator: np.ndarray, dimension: int
@@ -585,11 +642,10 @@ class PackedBackend(HDCBackend):
         return super().validate_accumulator(array, dimension)
 
     def permute(self, native: np.ndarray, dimension: int, shifts: int = 1) -> np.ndarray:
-        # Rotation crosses word boundaries; the unpack/roll/pack round-trip is
-        # exact and permutation is never on the similarity hot path.
-        return pack_bipolar(
-            np.roll(unpack_to_bipolar(native, dimension), shifts, axis=-1)
-        )
+        # Word-space rotation: uint64 shifts with cross-word carry (and a
+        # wrap of the displaced high components), exactly equivalent to the
+        # dense np.roll on the bipolar unpacking.
+        return rotate_components(native, dimension, shifts)
 
     def hamming_distances(
         self, queries: np.ndarray, references: np.ndarray
@@ -605,9 +661,22 @@ class PackedBackend(HDCBackend):
         distances = np.empty(
             (queries.shape[0], references.shape[0]), dtype=ACCUMULATOR_DTYPE
         )
+        # One XOR scratch buffer serves every block: writing the XOR through
+        # ``out=`` avoids allocating (and faulting in) a fresh
+        # (block, refs, words) temporary per block, which dominated the
+        # allocator traffic of large query batches.
+        scratch = np.empty(
+            (
+                min(self.SIMILARITY_BLOCK_ROWS, queries.shape[0]),
+                references.shape[0],
+                queries.shape[1],
+            ),
+            dtype=PACKED_DTYPE,
+        )
         for start in range(0, queries.shape[0], self.SIMILARITY_BLOCK_ROWS):
             block = queries[start : start + self.SIMILARITY_BLOCK_ROWS]
-            xor = block[:, None, :] ^ references[None, :, :]
+            xor = scratch[: block.shape[0]]
+            np.bitwise_xor(block[:, None, :], references[None, :, :], out=xor)
             distances[start : start + block.shape[0]] = popcount(xor).sum(
                 axis=2, dtype=ACCUMULATOR_DTYPE
             )
@@ -650,7 +719,10 @@ class PackedBackend(HDCBackend):
         *,
         metric: str = "cosine",
     ) -> np.ndarray:
-        references = pack_bipolar(normalize_hard(np.atleast_2d(accumulators), rng=0))
+        # The word-space majority vote packs the class vectors directly
+        # (bit-identical to packing the dense normalization, including the
+        # rng=0 tie stream consumed jointly across the accumulator rows).
+        references = self.normalize(np.atleast_2d(accumulators), rng=0)
         return self.similarity_matrix(queries, references, dimension, metric=metric)
 
 

@@ -1,0 +1,596 @@
+"""Bit-sliced carry-save arithmetic over packed ``uint64`` hypervector words.
+
+The packed backend stores 64 hypervector components per ``uint64`` word, which
+makes *binding* (XOR) and *similarity* (popcount) word-parallel for free.  The
+training side — bundling many hypervectors into per-class counts — is harder:
+a per-component count does not fit in one bit.  The classic hardware answer,
+implemented here, is **bit-slicing**: a running per-component count is stored
+as ``K`` packed *bitplanes*, plane ``k`` holding bit ``k`` of every
+component's count.  ``K`` grows only logarithmically with the number of
+bundled vectors, and all arithmetic stays in word space:
+
+* adding one packed hypervector to all ``d`` per-component counters is a
+  ripple **carry-save add** — ``~2K`` word-ops total, i.e. ``d/64`` lanes per
+  op instead of ``d`` scalar adds;
+* adding a *batch* of ``n`` packed hypervectors is a pairwise carry-save
+  **reduction tree** (:func:`bitslice_reduce`) costing ``O(n)`` word-ops with
+  vectorized full-adders at every level, instead of the ``8-64x`` memory
+  blowup of expanding words to per-component bit matrices;
+* the majority vote compares the bit-sliced count against the threshold
+  ``n // 2`` with a bitwise magnitude comparator
+  (:func:`majority_vote_words`), producing the packed sign vector directly —
+  bit-for-bit identical to packing
+  :func:`repro.hdc.operations.normalize_hard` of the equivalent signed sum,
+  including the random tie-breaker stream;
+* cyclic component rotation (:func:`rotate_components`) is a double-shift
+  with cross-word carry on the little-endian word layout — no unpack/roll/
+  pack round trip.
+
+Throughout this module a set bit means a ``-1`` component (the
+:func:`repro.hdc.backend.pack_bipolar` convention), so the bit-sliced counter
+of a bundle counts its ``-1`` contributions and the signed component-space
+sum of ``n`` bundled vectors is ``n - 2 * count``.  The signed ``int64``
+component-space accumulator remains the canonical *exchange* format of
+training state (merging, saving, sharding); :func:`bitslice_to_counts` /
+:func:`counts_to_bitslice` convert at that boundary, in ``O(K * d)`` instead
+of ``O(n * d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.hypervector import ACCUMULATOR_DTYPE
+from repro.hdc.operations import random_tie_signs
+
+#: Number of hypervector components stored per packed word.
+WORD_BITS = 64
+
+#: Storage dtype of packed hypervector words and bitplanes.
+PACKED_DTYPE = np.uint64
+
+_ONE = PACKED_DTYPE(1)
+_FULL_WORD = PACKED_DTYPE(0xFFFFFFFFFFFFFFFF)
+
+#: Bits of each byte value, LSB first — expands packed words to component
+#: bits via a table lookup (one ``uint8`` per component, never the 8-byte
+#: intermediate a shift-based expansion would materialize).
+_BYTE_BITS = (
+    (np.arange(256, dtype=np.uint8)[:, None] >> np.arange(8, dtype=np.uint8)) & 1
+).astype(np.uint8)
+
+
+def packed_words(dimension: int) -> int:
+    """Number of ``uint64`` words needed to store ``dimension`` components."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return (dimension + WORD_BITS - 1) // WORD_BITS
+
+
+def valid_bits_mask(dimension: int) -> np.ndarray:
+    """Per-word mask of the bits that map to real components.
+
+    The final word of a packed vector is only partially populated when the
+    dimensionality is not a multiple of 64; its padding bits must never leak
+    into majority votes or tie-breaking.
+    """
+    mask = np.full(packed_words(dimension), _FULL_WORD, dtype=PACKED_DTYPE)
+    remainder = dimension % WORD_BITS
+    if remainder:
+        mask[-1] = (_ONE << PACKED_DTYPE(remainder)) - _ONE
+    return mask
+
+
+def pack_bits(bits: np.ndarray, dimension: int) -> np.ndarray:
+    """Pack boolean/0-1 component rows into ``uint64`` words (LSB first).
+
+    The inverse of :func:`expand_bits`; rows shorter than a whole number of
+    words are zero-padded, matching ``pack_bipolar``'s layout.
+    """
+    array = np.atleast_2d(np.asarray(bits))
+    single = np.asarray(bits).ndim == 1
+    if array.shape[-1] != dimension:
+        raise ValueError(
+            f"expected rows of {dimension} component bits, got {array.shape[-1]}"
+        )
+    packed_bytes = np.packbits(array.astype(np.uint8), axis=-1, bitorder="little")
+    padded = packed_words(dimension) * (WORD_BITS // 8)
+    if packed_bytes.shape[-1] < padded:
+        packed_bytes = np.concatenate(
+            [
+                packed_bytes,
+                np.zeros(
+                    array.shape[:-1] + (padded - packed_bytes.shape[-1],),
+                    dtype=np.uint8,
+                ),
+            ],
+            axis=-1,
+        )
+    words = np.ascontiguousarray(packed_bytes).view(PACKED_DTYPE)
+    return words[0] if single else words
+
+
+def expand_bits(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Expand packed words to one ``uint8`` bit per component (LSB first).
+
+    Table-driven (byte -> 8 bits), so the transient cost is one byte per
+    component — used only on ``O(K)`` bitplanes or single masks, never on the
+    ``O(n)`` row matrices the carry-save kernels exist to avoid expanding.
+    """
+    array = np.asarray(words, dtype=PACKED_DTYPE)
+    if array.shape[-1] != packed_words(dimension):
+        raise ValueError(
+            f"expected {packed_words(dimension)} words for dimension {dimension}, "
+            f"got {array.shape[-1]}"
+        )
+    as_bytes = np.ascontiguousarray(array).view(np.uint8)
+    bits = _BYTE_BITS[as_bytes].reshape(
+        array.shape[:-1] + (array.shape[-1] * WORD_BITS,)
+    )
+    return bits[..., :dimension]
+
+
+# --------------------------------------------------------------------- adders
+def _merge_counters(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two batches of ``k``-plane bit-sliced counters plane-wise.
+
+    ``a`` and ``b`` are ``(m, k, words)`` stacks of ``k``-bit counters; the
+    result is the ``(m, k + 1, words)`` element-wise sums.  One vectorized
+    full-adder per plane: ``sum = a ^ b ^ carry``,
+    ``carry' = (a & b) | (carry & (a ^ b))``.
+    """
+    m, k, words = a.shape
+    out = np.empty((m, k + 1, words), dtype=PACKED_DTYPE)
+    carry = np.zeros((m, words), dtype=PACKED_DTYPE)
+    for plane in range(k):
+        a_plane = a[:, plane]
+        b_plane = b[:, plane]
+        half = a_plane ^ b_plane
+        out[:, plane] = half ^ carry
+        carry = (a_plane & b_plane) | (carry & half)
+    out[:, k] = carry
+    return out
+
+
+def add_planes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two bit-sliced counters of possibly different widths.
+
+    ``a`` is ``(k_a, words)`` and ``b`` is ``(k_b, words)``; the result has
+    just enough planes to hold the sum (a final carry plane is appended only
+    when it is non-zero).  This is the merge kernel of streaming carry-save
+    accumulation: a running counter absorbs a batch counter with ``O(K)``
+    word-ops.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=PACKED_DTYPE))
+    b = np.atleast_2d(np.asarray(b, dtype=PACKED_DTYPE))
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"word-count mismatch: {a.shape[-1]} vs {b.shape[-1]}")
+    if a.shape[0] < b.shape[0]:
+        a, b = b, a
+    words = a.shape[-1]
+    out = np.empty((a.shape[0], words), dtype=PACKED_DTYPE)
+    carry = np.zeros(words, dtype=PACKED_DTYPE)
+    for plane in range(a.shape[0]):
+        a_plane = a[plane]
+        b_plane = b[plane] if plane < b.shape[0] else np.zeros(words, PACKED_DTYPE)
+        half = a_plane ^ b_plane
+        out[plane] = half ^ carry
+        carry = (a_plane & b_plane) | (carry & half)
+    if np.any(carry):
+        out = np.concatenate([out, carry[None, :]], axis=0)
+    return out
+
+
+def bitslice_reduce(matrix: np.ndarray) -> np.ndarray:
+    """Sum ``n`` packed rows into one bit-sliced counter, in word space.
+
+    ``matrix`` is ``(n, words)`` packed hypervectors; the result is a
+    ``(K, words)`` bit-sliced per-component count of set bits, with
+    ``K = ceil(log2(n + 1))``.  Pairwise carry-save tree: at every level,
+    adjacent counters are merged with one *vectorized* full-adder pass over
+    all pairs at once, so the total work is ``O(n)`` word-ops spread over
+    ``log2(n)`` NumPy dispatches — the transient memory stays ``O(n * words)``
+    (the size of the input), never the unpacked ``O(n * d)`` bit matrix.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=PACKED_DTYPE))
+    n, words = matrix.shape
+    if n == 0:
+        return np.zeros((1, words), dtype=PACKED_DTYPE)
+    counters = matrix[:, None, :]
+    while counters.shape[0] > 1:
+        m, k, _ = counters.shape
+        paired = m - (m % 2)
+        merged = _merge_counters(counters[0:paired:2], counters[1:paired:2])
+        if m % 2:
+            leftover = np.concatenate(
+                [counters[-1:], np.zeros((1, 1, words), dtype=PACKED_DTYPE)], axis=1
+            )
+            merged = np.concatenate([merged, leftover], axis=0)
+        counters = merged
+    return counters[0]
+
+
+def bitslice_segment_reduce(
+    matrix: np.ndarray, sorted_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment bit-sliced counts of packed rows grouped by sorted ids.
+
+    ``matrix`` is ``(n, words)`` and ``sorted_ids`` a matching non-decreasing
+    ``int64`` vector.  Returns ``(unique_ids, planes, counts)`` where
+    ``planes`` is ``(num_unique, K, words)`` (``K`` sized for the largest
+    segment; smaller segments carry zero top planes) and ``counts`` the
+    per-segment row counts.
+
+    All segments are reduced *simultaneously*: every level pairs adjacent
+    counters that share a segment id (runs stay contiguous because the ids
+    are sorted) and merges all pairs with one vectorized full-adder pass, so
+    a batch of many small segments — the flat-batch graph-encoding shape —
+    costs the same few NumPy dispatches per level as one big segment.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=PACKED_DTYPE))
+    ids = np.asarray(sorted_ids, dtype=np.int64)
+    n, words = matrix.shape
+    if ids.shape != (n,):
+        raise ValueError(
+            f"sorted_ids of shape {ids.shape} does not match {n} rows"
+        )
+    unique_ids, counts = np.unique(ids, return_counts=True)
+    if n == 0:
+        return unique_ids, np.zeros((0, 1, words), dtype=PACKED_DTYPE), counts
+    counters = matrix[:, None, :]
+    while True:
+        m, k, _ = counters.shape
+        if m <= 1:
+            break
+        same_next = ids[:-1] == ids[1:]
+        if not same_next.any():
+            break
+        run_start = np.concatenate([[True], ~same_next])
+        starts = np.flatnonzero(run_start)
+        run_index = np.cumsum(run_start) - 1
+        position = np.arange(m) - starts[run_index]
+        first = np.concatenate([same_next, [False]]) & (position % 2 == 0)
+        second = np.concatenate([[False], first[:-1]])
+        merged = _merge_counters(counters[first], counters[second])
+        emit = ~second
+        next_counters = np.empty((int(emit.sum()), k + 1, words), dtype=PACKED_DTYPE)
+        emitted_first = first[emit]
+        next_counters[emitted_first] = merged
+        singles = counters[~first & ~second]
+        next_counters[~emitted_first, :k] = singles
+        next_counters[~emitted_first, k] = 0
+        counters = next_counters
+        ids = ids[emit]
+    assert np.array_equal(ids, unique_ids)
+    return unique_ids, counters, counts
+
+
+# --------------------------------------------------------- boundary converters
+def bitslice_to_counts(planes: np.ndarray, dimension: int) -> np.ndarray:
+    """Expand a bit-sliced counter to per-component ``int64`` counts.
+
+    ``planes`` is ``(..., K, words)``; the result is ``(..., dimension)``.
+    This is the state-boundary converter: its cost is ``O(K * d)`` — the
+    logarithmic number of planes, not the number of accumulated vectors.
+    """
+    planes = np.asarray(planes, dtype=PACKED_DTYPE)
+    if planes.ndim < 2:
+        raise ValueError(f"expected (..., K, words) planes, got shape {planes.shape}")
+    lead = planes.shape[:-2]
+    counts = np.zeros(lead + (dimension,), dtype=ACCUMULATOR_DTYPE)
+    for plane in range(planes.shape[-2]):
+        bits = expand_bits(planes[..., plane, :], dimension)
+        counts += bits.astype(ACCUMULATOR_DTYPE) << plane
+    return counts
+
+
+def counts_to_bitslice(counts: np.ndarray, dimension: int) -> np.ndarray:
+    """Pack per-component non-negative counts into bit-sliced planes.
+
+    Inverse of :func:`bitslice_to_counts`; the number of planes is sized for
+    the largest count (at least one plane).  Raises on negative counts —
+    bit-sliced counters are unsigned tallies of ``-1`` bits.
+    """
+    counts = np.asarray(counts)
+    if counts.shape[-1] != dimension:
+        raise ValueError(
+            f"expected rows of {dimension} counts, got {counts.shape[-1]}"
+        )
+    counts = counts.astype(ACCUMULATOR_DTYPE, copy=False)
+    if counts.size and counts.min() < 0:
+        raise ValueError("bit-sliced counters cannot represent negative counts")
+    max_count = int(counts.max()) if counts.size else 0
+    num_planes = max(1, max_count.bit_length())
+    planes = np.empty(
+        counts.shape[:-1] + (num_planes, packed_words(dimension)),
+        dtype=PACKED_DTYPE,
+    )
+    for plane in range(num_planes):
+        planes[..., plane, :] = pack_bits((counts >> plane) & 1, dimension)
+    return planes
+
+
+# ------------------------------------------------------------- majority vote
+def compare_with_threshold(
+    planes: np.ndarray, thresholds: np.ndarray | int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bitwise magnitude comparison of bit-sliced counts against thresholds.
+
+    ``planes`` is ``(..., K, words)``; ``thresholds`` a non-negative integer
+    (or an array broadcastable over the leading axes).  Returns packed masks
+    ``(greater, equal)``: bit ``c`` of ``greater`` is set where
+    ``count[c] > threshold`` and of ``equal`` where ``count[c] == threshold``.
+    The comparator scans planes from the most significant down, maintaining
+    an *undecided* mask — plain bitwise arithmetic, no per-component loop.
+    """
+    planes = np.asarray(planes, dtype=PACKED_DTYPE)
+    lead = planes.shape[:-2]
+    words = planes.shape[-1]
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    num_planes = max(
+        planes.shape[-2],
+        int(thresholds.max()).bit_length() if thresholds.size else 1,
+    )
+    greater = np.zeros(lead + (words,), dtype=PACKED_DTYPE)
+    less = np.zeros(lead + (words,), dtype=PACKED_DTYPE)
+    zero_plane = np.zeros(lead + (words,), dtype=PACKED_DTYPE)
+    for plane in range(num_planes - 1, -1, -1):
+        count_bit = planes[..., plane, :] if plane < planes.shape[-2] else zero_plane
+        # bit * all-ones maps bit 1 -> all-ones, bit 0 -> all-zeros.
+        threshold_bit = (
+            ((thresholds >> plane) & 1).astype(PACKED_DTYPE) * _FULL_WORD
+        )[..., None]
+        undecided = ~(greater | less)
+        greater |= undecided & count_bit & ~threshold_bit
+        less |= undecided & ~count_bit & threshold_bit
+    return greater, ~(greater | less)
+
+
+def majority_vote_words(
+    planes: np.ndarray,
+    totals: np.ndarray | int,
+    dimension: int,
+    *,
+    tie_breaker: np.ndarray | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Majority-vote bit-sliced ``-1`` counts directly into packed words.
+
+    ``planes`` holds the per-component count of ``-1`` bits among ``totals``
+    bundled vectors (``totals`` broadcasts over the leading axes of
+    ``planes``).  A component votes ``-1`` (bit set) when more than half of
+    the vectors were ``-1`` — i.e. ``count > totals // 2`` — decided with the
+    word-space comparator; exact half-splits (only possible for even totals)
+    are ties.
+
+    Tie-breaking matches :func:`repro.hdc.operations.normalize_hard`
+    bit-for-bit: with a bipolar ``tie_breaker`` vector, ties copy its sign;
+    otherwise ties draw random signs from the *same* generator stream, in
+    row-major component order, consuming exactly one draw per tie.  Padding
+    bits of the final word are never ties and stay zero.
+    """
+    planes = np.asarray(planes, dtype=PACKED_DTYPE)
+    lead = planes.shape[:-2]
+    totals = np.asarray(totals, dtype=np.int64)
+    if totals.size and totals.min() < 0:
+        raise ValueError("totals must be non-negative")
+    greater, equal = compare_with_threshold(planes, totals // 2)
+    votes = greater
+    # Ties require an exact half-split, which needs an even vector count;
+    # padding bits compare equal for totals < 2 and must be masked out.
+    even = ((1 - (totals & 1)).astype(PACKED_DTYPE) * _FULL_WORD)[..., None]
+    ties = equal & even & valid_bits_mask(dimension)
+    if not np.any(ties):
+        return votes
+    if tie_breaker is not None:
+        tie_breaker = np.asarray(tie_breaker)
+        if tie_breaker.shape[-1] != dimension:
+            raise ValueError(
+                f"tie_breaker of dimension {tie_breaker.shape[-1]} does not "
+                f"match accumulator dimension {dimension}"
+            )
+        packed_breaker = pack_bits(tie_breaker < 0, dimension)
+        return votes | (ties & packed_breaker)
+    votes = votes.copy()
+    scatter_random_tie_bits(votes, expand_bits(ties, dimension) != 0, dimension, rng)
+    return votes
+
+
+def scatter_random_tie_bits(
+    votes: np.ndarray,
+    tie_mask: np.ndarray,
+    dimension: int,
+    rng: int | np.random.Generator | None,
+) -> None:
+    """Set random ``-1`` bits of ``votes`` at the tie positions, in place.
+
+    ``tie_mask`` is a boolean component-space array whose leading shape
+    matches ``votes``; ties are enumerated in row-major order and consume one
+    sign per tie from :func:`repro.hdc.operations.random_tie_signs` — the
+    identical stream the dense majority vote draws, so packed and dense
+    normalization agree bit-for-bit even through random tie-breaking.
+    """
+    words = votes.shape[-1]
+    positions = np.flatnonzero(tie_mask)
+    signs = random_tie_signs(rng, positions.size)
+    negative = positions[signs < 0]
+    if negative.size == 0:
+        return
+    rows, components = np.divmod(negative, dimension)
+    # ``votes`` is always a freshly computed contiguous array here, so the
+    # flattened view aliases it and the scatter lands in place.
+    flat = votes.reshape(-1)
+    np.bitwise_or.at(
+        flat,
+        rows * words + components // WORD_BITS,
+        _ONE << (components % WORD_BITS).astype(PACKED_DTYPE),
+    )
+
+
+# ------------------------------------------------------------------ rotation
+def _shift_towards_msb(matrix: np.ndarray, shift: int) -> np.ndarray:
+    """Shift packed rows ``shift`` components towards higher indices."""
+    words = matrix.shape[-1]
+    word_shift, bit_shift = divmod(shift, WORD_BITS)
+    out = np.zeros_like(matrix)
+    if bit_shift == 0:
+        out[..., word_shift:] = matrix[..., : words - word_shift]
+    else:
+        out[..., word_shift:] = matrix[..., : words - word_shift] << PACKED_DTYPE(
+            bit_shift
+        )
+        out[..., word_shift + 1 :] |= matrix[..., : words - word_shift - 1] >> (
+            PACKED_DTYPE(WORD_BITS - bit_shift)
+        )
+    return out
+
+
+def _shift_towards_lsb(matrix: np.ndarray, shift: int) -> np.ndarray:
+    """Shift packed rows ``shift`` components towards lower indices."""
+    words = matrix.shape[-1]
+    word_shift, bit_shift = divmod(shift, WORD_BITS)
+    out = np.zeros_like(matrix)
+    if bit_shift == 0:
+        out[..., : words - word_shift] = matrix[..., word_shift:]
+    else:
+        out[..., : words - word_shift] = matrix[..., word_shift:] >> PACKED_DTYPE(
+            bit_shift
+        )
+        out[..., : words - word_shift - 1] |= matrix[..., word_shift + 1 :] << (
+            PACKED_DTYPE(WORD_BITS - bit_shift)
+        )
+    return out
+
+
+def rotate_components(
+    words: np.ndarray, dimension: int, shifts: int
+) -> np.ndarray:
+    """Cyclically rotate packed components: word shifts with cross-word carry.
+
+    Equivalent to ``pack(np.roll(unpack(words), shifts, axis=-1))`` — the
+    component at index ``i`` moves to ``(i + shifts) % dimension`` — but the
+    rotation never leaves word space: it is the OR of a towards-MSB shift by
+    ``shifts`` and a towards-LSB shift by ``dimension - shifts``, with the
+    partial final word masked so padding bits stay zero.  Accepts a single
+    ``(words,)`` vector or any ``(..., words)`` stack; negative and
+    multi-revolution shifts reduce modulo the dimension.
+    """
+    array = np.asarray(words, dtype=PACKED_DTYPE)
+    expected = packed_words(dimension)
+    if array.shape[-1] != expected:
+        raise ValueError(
+            f"expected {expected} words for dimension {dimension}, "
+            f"got {array.shape[-1]}"
+        )
+    shift = int(shifts) % dimension
+    if shift == 0:
+        return array.copy()
+    rotated = _shift_towards_msb(array, shift) | _shift_towards_lsb(
+        array, dimension - shift
+    )
+    return rotated & valid_bits_mask(dimension)
+
+
+# ------------------------------------------------------------------ streaming
+class BitSliceAccumulator:
+    """A running word-space bundle: bit-sliced counts plus the vector total.
+
+    The carry-save counterpart of an ``int64`` component-space accumulator:
+    packed hypervectors stream in through :meth:`add` (one vectorized
+    reduction tree per batch, one ``O(K)`` ripple merge into the running
+    planes), accumulators merge with :meth:`merge`, and the result leaves
+    word space only at the boundary — :meth:`to_accumulator` for the
+    canonical signed exchange format, or :meth:`majority_vote` straight to a
+    packed bundle without ever materializing per-component integers.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = int(dimension)
+        self.words = packed_words(self.dimension)
+        self.planes = np.zeros((1, self.words), dtype=PACKED_DTYPE)
+        self.total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BitSliceAccumulator(dimension={self.dimension}, "
+            f"total={self.total}, planes={self.planes.shape[0]})"
+        )
+
+    def add(self, packed_rows: np.ndarray) -> "BitSliceAccumulator":
+        """Bundle a batch of packed hypervectors into the running counter."""
+        matrix = np.atleast_2d(np.asarray(packed_rows, dtype=PACKED_DTYPE))
+        if matrix.shape[-1] != self.words:
+            raise ValueError(
+                f"expected rows of {self.words} words, got {matrix.shape[-1]}"
+            )
+        if matrix.shape[0] == 0:
+            return self
+        self.planes = add_planes(self.planes, bitslice_reduce(matrix))
+        self.total += matrix.shape[0]
+        return self
+
+    def merge(self, other: "BitSliceAccumulator") -> "BitSliceAccumulator":
+        """Absorb another accumulator (carry-save addition of the counters)."""
+        if not isinstance(other, BitSliceAccumulator):
+            raise TypeError(
+                f"cannot merge BitSliceAccumulator with {type(other).__name__}"
+            )
+        if other.dimension != self.dimension:
+            raise ValueError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+        self.planes = add_planes(self.planes, other.planes)
+        self.total += other.total
+        return self
+
+    def to_counts(self) -> np.ndarray:
+        """Per-component ``int64`` counts of accumulated ``-1`` bits."""
+        return bitslice_to_counts(self.planes, self.dimension)
+
+    def to_accumulator(self) -> np.ndarray:
+        """The canonical signed component-space sum: ``total - 2 * counts``."""
+        return self.total - 2 * self.to_counts()
+
+    @classmethod
+    def from_accumulator(
+        cls, accumulator: np.ndarray, total: int, dimension: int
+    ) -> "BitSliceAccumulator":
+        """Rebuild a counter from a signed exchange-format accumulator.
+
+        ``total`` must be the number of vectors summed into ``accumulator``
+        (each component's count of ``-1`` bits, ``(total - value) / 2``, must
+        come out a whole number in ``[0, total]``).
+        """
+        accumulator = np.asarray(accumulator, dtype=ACCUMULATOR_DTYPE)
+        if accumulator.shape != (dimension,):
+            raise ValueError(
+                f"expected a ({dimension},) accumulator, got {accumulator.shape}"
+            )
+        doubled = int(total) - accumulator
+        if np.any(doubled & 1) or np.any(doubled < 0) or np.any(
+            doubled > 2 * int(total)
+        ):
+            raise ValueError(
+                f"accumulator is not a signed sum of {total} bipolar vectors"
+            )
+        counter = cls(dimension)
+        counter.planes = counts_to_bitslice(doubled >> 1, dimension)
+        counter.total = int(total)
+        return counter
+
+    def majority_vote(
+        self,
+        *,
+        tie_breaker: np.ndarray | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Packed majority vote of the running bundle, entirely in word space."""
+        return majority_vote_words(
+            self.planes,
+            self.total,
+            self.dimension,
+            tie_breaker=tie_breaker,
+            rng=rng,
+        )

@@ -149,7 +149,10 @@ class CentroidClassifier:
 
         Batched counterpart of :meth:`partial_fit`; identical to calling it
         per sample (integer accumulation commutes), but pays the segmented
-        accumulation kernel once for the whole batch.
+        accumulation kernel once for the whole batch.  On the packed backend
+        that kernel is the bit-sliced carry-save reduction of
+        :mod:`repro.hdc.bitslice`, so online batches bundle entirely in
+        ``uint64`` word space before the one component-space commit.
         """
         self.fit_from_state(self.fit_state(encodings, labels))
 

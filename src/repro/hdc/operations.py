@@ -83,6 +83,27 @@ def bundle(
     return normalize_hard(summed, rng=rng)
 
 
+def random_tie_signs(
+    rng: int | np.random.Generator | None, count: int
+) -> np.ndarray:
+    """Draw ``count`` random bipolar signs for majority-vote tie-breaking.
+
+    This is *the* tie-breaking stream: every majority vote — the dense
+    :func:`normalize_hard` and the packed word-space vote of
+    :mod:`repro.hdc.bitslice` — draws ties through this one function, in
+    row-major component order, one draw per tie.  Sharing the draw (same
+    generator construction, same ``integers`` call, same sign mapping) is
+    what makes dense and packed normalization bit-identical even on tie-heavy
+    accumulators.
+    """
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    return (
+        2 * generator.integers(0, 2, size=int(count), dtype=np.int8) - 1
+    ).astype(HV_DTYPE)
+
+
 def normalize_hard(
     accumulator: np.ndarray,
     *,
@@ -117,15 +138,7 @@ def normalize_hard(
                 HV_DTYPE
             )
         else:
-            generator = (
-                rng
-                if isinstance(rng, np.random.Generator)
-                else np.random.default_rng(rng)
-            )
-            random_signs = (
-                2 * generator.integers(0, 2, size=int(ties.sum()), dtype=np.int8) - 1
-            ).astype(HV_DTYPE)
-            signed[ties] = random_signs
+            signed[ties] = random_tie_signs(rng, int(ties.sum()))
     return signed
 
 

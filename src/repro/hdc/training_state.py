@@ -218,6 +218,23 @@ class TrainingState:
             existing += accumulator
         self._counts[label] = self._counts.get(label, 0) + int(count)
 
+    def add_bitslice(self, label: Hashable, accumulator) -> None:
+        """Commit a word-space :class:`~repro.hdc.bitslice.BitSliceAccumulator`.
+
+        The boundary where the carry-save training path rejoins the canonical
+        exchange format: the bit-sliced planes are expanded once to the signed
+        ``int64`` component-space sum (``total - 2 * counts``), so merge /
+        save / load semantics are untouched.  Streaming packed trainers can
+        keep bundling in uint64 word space and pay the component-space
+        conversion a single time per class.
+        """
+        if accumulator.dimension != self.dimension:
+            raise ValueError(
+                f"bit-sliced accumulator dimension {accumulator.dimension} "
+                f"does not match state dimension {self.dimension}"
+            )
+        self.add_accumulator(label, accumulator.to_accumulator(), accumulator.total)
+
     def add_encoding(
         self, label: Hashable, encoding: np.ndarray, weight: float = 1.0
     ) -> None:

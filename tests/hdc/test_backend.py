@@ -167,17 +167,16 @@ class TestOperations:
             np.zeros(DIMENSION, dtype=np.int64),
         )
 
-    def test_accumulate_blocked_path(self, packed):
-        # Exceed the block size to exercise the chunked per-bit accumulation.
-        original = packed.ACCUMULATE_BLOCK_ROWS
-        packed_small = PackedBackend()
-        packed_small.ACCUMULATE_BLOCK_ROWS = 4
-        matrix = random_hypervectors(11, DIMENSION, rng=2)
+    @pytest.mark.parametrize("rows", [1, 2, 3, 11, 64, 100])
+    def test_accumulate_carry_save_tree(self, packed, rows):
+        # Row counts around powers of two exercise every shape of the
+        # pairwise carry-save tree (exact levels, leftover chains, growth of
+        # the bit-sliced plane count).
+        matrix = random_hypervectors(rows, DIMENSION, rng=2)
         assert np.array_equal(
-            packed_small.accumulate(pack_bipolar(matrix), DIMENSION),
+            packed.accumulate(pack_bipolar(matrix), DIMENSION),
             matrix.astype(np.int64).sum(axis=0),
         )
-        assert packed.ACCUMULATE_BLOCK_ROWS == original
 
     def test_normalize_equivalence_with_tie_breaker(self, dense, packed):
         accumulator = random_hypervectors(4, DIMENSION, rng=0).astype(np.int64).sum(axis=0)
@@ -300,14 +299,13 @@ class TestSegmentAccumulate:
             assert result.shape == (3, 64)
             assert not result.any()
 
-    def test_packed_blocked_accumulation(self, packed):
+    def test_packed_mixed_segment_sizes(self, packed):
+        # Runs of very different lengths exercise the paired-run carry-save
+        # reduction: long runs keep merging while exhausted singles ride
+        # along with zero-padded planes.
         matrix = random_hypervectors(50, 70, rng=5)
         ids = np.sort(np.random.default_rng(5).integers(0, 4, size=50))
-        packed.ACCUMULATE_BLOCK_ROWS, saved = 8, packed.ACCUMULATE_BLOCK_ROWS
-        try:
-            result = packed.segment_accumulate(pack_bipolar(matrix), ids, 4, 70)
-        finally:
-            packed.ACCUMULATE_BLOCK_ROWS = saved
+        result = packed.segment_accumulate(pack_bipolar(matrix), ids, 4, 70)
         expected = np.zeros((4, 70), dtype=np.int64)
         for row, segment in zip(matrix, ids):
             expected[segment] += row.astype(np.int64)
@@ -322,3 +320,38 @@ class TestSegmentAccumulate:
         matrix = random_hypervectors(3, 16, rng=0)
         with pytest.raises(ValueError):
             dense.segment_accumulate(matrix, np.array([0, 1]), 3, 16)
+
+
+class TestPopcount:
+    def test_implementations_agree(self):
+        from repro.hdc.backend import POPCOUNT_IMPLEMENTATION, popcount_lut
+
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 2**64, size=(5, 9), dtype=np.uint64)
+        expected = np.array(
+            [[bin(int(word)).count("1") for word in row] for row in words]
+        )
+        assert np.array_equal(popcount_lut(words).astype(np.int64), expected)
+        assert np.array_equal(popcount(words).astype(np.int64), expected)
+        assert POPCOUNT_IMPLEMENTATION in {"numpy.bitwise_count", "byte-lut"}
+
+    def test_native_popcount_preferred_when_available(self):
+        from repro.hdc.backend import POPCOUNT_IMPLEMENTATION
+
+        if hasattr(np, "bitwise_count"):
+            assert POPCOUNT_IMPLEMENTATION == "numpy.bitwise_count"
+        else:
+            assert POPCOUNT_IMPLEMENTATION == "byte-lut"
+
+
+class TestHammingScratch:
+    def test_distances_unaffected_by_block_reuse(self, packed):
+        # Queries spanning several similarity blocks exercise the reused XOR
+        # scratch buffer, including the final partial block.
+        queries = random_hypervectors(packed.SIMILARITY_BLOCK_ROWS * 2 + 7, 130, rng=3)
+        references = random_hypervectors(5, 130, rng=4)
+        distances = packed.hamming_distances(
+            pack_bipolar(queries), pack_bipolar(references)
+        )
+        expected = (queries[:, None, :] != references[None, :, :]).sum(axis=2)
+        assert np.array_equal(distances, expected)

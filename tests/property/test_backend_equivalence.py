@@ -86,6 +86,72 @@ def test_packed_hamming_ranks_like_cosine(seed, dimension):
 
 @given(seed=seeds, dimension=dimensions)
 @settings(max_examples=30, deadline=None)
+def test_packed_permute_equals_dense_roll(seed, dimension):
+    """Word-space rotation == dense np.roll for every shift regime.
+
+    Covers in-word shifts, exact word-boundary shifts, multi-word shifts,
+    negative shifts and beyond-full-revolution shifts, on dimensions with
+    and without a partial final word.
+    """
+    vector = random_hypervectors(1, dimension, rng=seed)[0]
+    packed = pack_bipolar(vector)
+    for shift in (0, 1, -1, 7, 63, 64, 65, 128, -64, -200, dimension, 3 * dimension + 5):
+        assert np.array_equal(
+            PACKED.permute(packed, dimension, shift),
+            pack_bipolar(DENSE.permute(vector, dimension, shift)),
+        ), f"shift={shift}"
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=30, deadline=None)
+def test_packed_segment_accumulate_equals_dense(seed, dimension):
+    """Arbitrary (unsorted) segment layouts produce identical class sums."""
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, 40))
+    segments = int(rng.integers(1, 6))
+    ids = rng.integers(0, segments, size=rows)
+    matrix = random_hypervectors(rows, dimension, rng=seed)
+    assert np.array_equal(
+        PACKED.segment_accumulate(pack_bipolar(matrix), ids, segments, dimension),
+        DENSE.segment_accumulate(matrix, ids, segments, dimension),
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=30, deadline=None)
+def test_packed_normalize_bit_identical_on_ties(seed, dimension):
+    """Word-space majority vote == packed dense vote on tie-heavy input.
+
+    Small even accumulator entries make exact zeros (ties) common; both the
+    random-stream and the deterministic tie-breaker paths must match the
+    dense normalize_hard bit for bit.
+    """
+    rng = np.random.default_rng(seed)
+    accumulator = rng.integers(-2, 3, size=(3, dimension)).astype(np.int64)
+    assert np.array_equal(
+        PACKED.normalize(accumulator, rng=seed),
+        pack_bipolar(DENSE.normalize(accumulator, rng=seed)),
+    )
+    breaker = random_hypervectors(1, dimension, rng=seed)[0]
+    assert np.array_equal(
+        PACKED.normalize(accumulator, tie_breaker=breaker),
+        pack_bipolar(DENSE.normalize(accumulator, tie_breaker=breaker)),
+    )
+
+
+@given(seed=seeds, dimension=dimensions, count=st.integers(1, 12))
+@settings(max_examples=30, deadline=None)
+def test_packed_bundle_equals_dense_bundle(seed, dimension, count):
+    """End-to-end word-space bundling == dense bundle, odd and even counts."""
+    matrix = random_hypervectors(count, dimension, rng=seed)
+    assert np.array_equal(
+        PACKED.bundle(pack_bipolar(matrix), dimension, rng=seed),
+        pack_bipolar(DENSE.bundle(matrix, dimension, rng=seed)),
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=30, deadline=None)
 def test_packed_hamming_metric_counts_agreements(seed, dimension):
     matrix = random_hypervectors(2, dimension, rng=seed)
     a, b = matrix[0], matrix[1]

@@ -1,0 +1,193 @@
+"""Property-based tests: carry-save bit-slicing equals component-space math.
+
+The bit-sliced kernels of :mod:`repro.hdc.bitslice` are word-space
+re-implementations of integer accumulation and the majority vote.  Every
+property here pins a kernel to its dense reference over randomized inputs —
+arbitrary segment layouts, tie-heavy accumulators, odd and even vector
+counts, and dimensions that are not multiples of 64 (partial final words).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.backend import pack_bipolar, unpack_to_bipolar
+from repro.hdc.bitslice import (
+    BitSliceAccumulator,
+    bitslice_reduce,
+    bitslice_segment_reduce,
+    bitslice_to_counts,
+    compare_with_threshold,
+    counts_to_bitslice,
+    majority_vote_words,
+    rotate_components,
+)
+from repro.hdc.hypervector import random_hypervectors
+from repro.hdc.operations import normalize_hard
+from repro.hdc.training_state import TrainingState
+
+#: Dimensions deliberately include non-multiples of 64 to cover padding.
+dimensions = st.sampled_from([64, 100, 127, 256, 300])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+counts = st.integers(min_value=0, max_value=40)
+
+
+def negative_counts(matrix):
+    """Dense reference: per-component count of -1 entries."""
+    return (matrix < 0).astype(np.int64).sum(axis=0)
+
+
+@given(seed=seeds, dimension=dimensions, count=counts)
+@settings(max_examples=50, deadline=None)
+def test_reduce_counts_negative_bits(seed, dimension, count):
+    matrix = random_hypervectors(count, dimension, rng=seed)
+    planes = bitslice_reduce(pack_bipolar(matrix))
+    assert np.array_equal(
+        bitslice_to_counts(planes, dimension), negative_counts(matrix)
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=50, deadline=None)
+def test_segment_reduce_arbitrary_layouts(seed, dimension):
+    """Arbitrary sorted run lengths — singletons, power-of-two and odd runs."""
+    rng = np.random.default_rng(seed)
+    run_lengths = rng.integers(1, 9, size=rng.integers(1, 8))
+    ids = np.repeat(np.arange(len(run_lengths)), run_lengths)
+    matrix = random_hypervectors(len(ids), dimension, rng=seed)
+    unique_ids, planes, row_counts = bitslice_segment_reduce(
+        pack_bipolar(matrix), ids
+    )
+    assert np.array_equal(unique_ids, np.arange(len(run_lengths)))
+    assert np.array_equal(row_counts, run_lengths)
+    for index, segment in enumerate(unique_ids):
+        assert np.array_equal(
+            bitslice_to_counts(planes[index], dimension),
+            negative_counts(matrix[ids == segment]),
+        )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=50, deadline=None)
+def test_counts_roundtrip(seed, dimension):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 1000, size=(3, dimension))
+    planes = counts_to_bitslice(counts, dimension)
+    assert np.array_equal(bitslice_to_counts(planes, dimension), counts)
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=50, deadline=None)
+def test_compare_with_threshold_matches_integers(seed, dimension):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 64, size=(4, dimension))
+    thresholds = rng.integers(0, 64, size=4)
+    greater, equal = compare_with_threshold(
+        counts_to_bitslice(counts, dimension), thresholds
+    )
+    greater_bits = unpack_to_bipolar(greater, dimension) < 0
+    equal_bits = unpack_to_bipolar(equal, dimension) < 0
+    assert np.array_equal(greater_bits, counts > thresholds[:, None])
+    # The equal mask may also be set on padding bits; only real components
+    # are contractually meaningful, which is what unpacking checks.
+    assert np.array_equal(equal_bits, counts == thresholds[:, None])
+
+
+@given(seed=seeds, dimension=dimensions, count=st.integers(2, 16))
+@settings(max_examples=50, deadline=None)
+def test_majority_vote_matches_dense_normalize(seed, dimension, count):
+    """Bit-for-bit vote parity for odd and even counts, rng tie-breaking."""
+    matrix = random_hypervectors(count, dimension, rng=seed)
+    planes = bitslice_reduce(pack_bipolar(matrix))
+    summed = matrix.astype(np.int64).sum(axis=0)
+    assert np.array_equal(
+        majority_vote_words(planes, count, dimension, rng=seed),
+        pack_bipolar(normalize_hard(summed, rng=seed)),
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=50, deadline=None)
+def test_majority_vote_tie_heavy_inputs(seed, dimension):
+    """All-tie accumulators: a + (-a) makes every component an exact tie."""
+    base = random_hypervectors(1, dimension, rng=seed)[0]
+    matrix = np.stack([base, -base, base, -base])
+    planes = bitslice_reduce(pack_bipolar(matrix))
+    # Deterministic tie-breaker path.
+    breaker = random_hypervectors(1, dimension, rng=seed + 1)[0]
+    assert np.array_equal(
+        majority_vote_words(planes, 4, dimension, tie_breaker=breaker),
+        pack_bipolar(breaker),
+    )
+    # Random path consumes the same stream as the dense vote.
+    assert np.array_equal(
+        majority_vote_words(planes, 4, dimension, rng=seed),
+        pack_bipolar(normalize_hard(np.zeros(dimension, np.int64), rng=seed)),
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=50, deadline=None)
+def test_rotation_matches_dense_roll(seed, dimension):
+    vector = random_hypervectors(1, dimension, rng=seed)[0]
+    packed = pack_bipolar(vector)
+    for shift in (0, 1, -1, 63, 64, 65, -200, dimension - 1, dimension, 500):
+        assert np.array_equal(
+            rotate_components(packed, dimension, shift),
+            pack_bipolar(np.roll(vector, shift)),
+        ), f"shift={shift}"
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=30, deadline=None)
+def test_streaming_accumulator_matches_batch(seed, dimension):
+    """Chunked add + merge equals one-shot reduction, and round-trips."""
+    rng = np.random.default_rng(seed)
+    matrix = random_hypervectors(int(rng.integers(1, 30)), dimension, rng=seed)
+    packed = pack_bipolar(matrix)
+    split = int(rng.integers(0, matrix.shape[0] + 1))
+    left = BitSliceAccumulator(dimension).add(packed[:split])
+    right = BitSliceAccumulator(dimension).add(packed[split:])
+    left.merge(right)
+    expected = matrix.astype(np.int64).sum(axis=0)
+    assert left.total == matrix.shape[0]
+    assert np.array_equal(left.to_accumulator(), expected)
+    rebuilt = BitSliceAccumulator.from_accumulator(
+        expected, matrix.shape[0], dimension
+    )
+    assert np.array_equal(rebuilt.to_counts(), left.to_counts())
+    assert np.array_equal(
+        left.majority_vote(rng=seed),
+        pack_bipolar(normalize_hard(expected, rng=seed)),
+    )
+
+
+@given(seed=seeds, dimension=dimensions)
+@settings(max_examples=30, deadline=None)
+def test_training_state_add_bitslice_boundary(seed, dimension):
+    """Committing a word-space accumulator equals batch add_encodings."""
+    matrix = random_hypervectors(9, dimension, rng=seed)
+    packed = pack_bipolar(matrix)
+    labels = ["a"] * 5 + ["b"] * 4
+
+    batch = TrainingState(dimension, backend="packed").add_encodings(
+        packed, labels
+    )
+    streamed = TrainingState(dimension, backend="packed")
+    streamed.add_bitslice(
+        "a", BitSliceAccumulator(dimension).add(packed[:5])
+    )
+    streamed.add_bitslice(
+        "b", BitSliceAccumulator(dimension).add(packed[5:])
+    )
+    assert streamed == batch
+
+
+def test_accumulator_from_invalid_sum_raises():
+    with pytest.raises(ValueError):
+        # Parity mismatch: 3 vectors cannot sum to an even component.
+        BitSliceAccumulator.from_accumulator(np.full(64, 2), 3, 64)
+    with pytest.raises(ValueError):
+        # Out of range: |sum| cannot exceed the vector count.
+        BitSliceAccumulator.from_accumulator(np.full(64, 5), 3, 64)
