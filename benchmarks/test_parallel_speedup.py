@@ -33,7 +33,12 @@ from repro.core.model import GraphHDClassifier
 from repro.datasets.synthetic import make_benchmark_dataset
 from repro.eval.cross_validation import cross_validate
 from repro.eval.encoding_store import EncodingStore
-from repro.eval.parallel import parallelism_available, usable_cores
+from repro.eval.parallel import (
+    TaskPolicy,
+    parallelism_available,
+    run_tasks,
+    usable_cores,
+)
 from repro.eval.reporting import render_table
 
 DIMENSION = 10_000
@@ -147,6 +152,68 @@ def test_fold_parallel_cross_validate_speedup(profile):
             f"expected >=2x fold-parallel speedup on {cores} cores, "
             f"measured {speedup:.2f}x"
         )
+
+
+def test_supervised_dispatch_overhead(profile):
+    """Fixed cost of the supervised runtime per dispatched task.
+
+    The supervisor adds bookkeeping a bare pool does not have — per-task
+    deadlines, sentinel watching, retry accounting, optional journaling.
+    This measures that fixed cost on trivial tasks (the worst case: real
+    fold/shard tasks amortize it over seconds of work) for the default
+    fail-fast policy and for a fully-armed one (timeout + retries +
+    checkpoint journal).
+    """
+    if not parallelism_available():
+        import pytest
+
+        pytest.skip("no process-pool parallelism on this platform")
+    num_tasks = 256 if profile.name == "full" else 64
+    tasks = [lambda value=value: value for value in range(num_tasks)]
+
+    def run(policy):
+        start = time.perf_counter()
+        results = run_tasks(tasks, n_jobs=N_JOBS, policy=policy)
+        elapsed = time.perf_counter() - start
+        assert results == list(range(num_tasks))
+        return elapsed
+
+    plain_seconds = run(None)
+    journal_dir = tempfile.mkdtemp(prefix="graphhd-journal-")
+    try:
+        armed_seconds = run(
+            TaskPolicy(timeout=30.0, retries=2, checkpoint_dir=journal_dir)
+        )
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+    per_task_plain = plain_seconds / num_tasks
+    per_task_armed = armed_seconds / num_tasks
+    _RESULTS["supervised_dispatch_overhead"] = {
+        "num_tasks": num_tasks,
+        "n_jobs": N_JOBS,
+        "plain_seconds": round(plain_seconds, 4),
+        "armed_seconds": round(armed_seconds, 4),
+        "per_task_plain_ms": round(per_task_plain * 1000, 3),
+        "per_task_armed_ms": round(per_task_armed * 1000, 3),
+    }
+    _flush_results()
+    print_report(
+        f"Supervised dispatch overhead: {num_tasks} trivial tasks, "
+        f"n_jobs={N_JOBS}",
+        render_table(
+            ["policy", "total seconds", "per task (ms)"],
+            [
+                ["fail-fast (default)", f"{plain_seconds:.3f}", f"{per_task_plain * 1000:.2f}"],
+                ["timeout+retries+journal", f"{armed_seconds:.3f}", f"{per_task_armed * 1000:.2f}"],
+            ],
+        ),
+    )
+    # The supervision tax must stay negligible next to real fold tasks
+    # (which run for seconds each); generous bound for loaded CI hosts.
+    assert per_task_armed < 0.25, (
+        f"supervised dispatch costs {per_task_armed * 1000:.1f} ms/task"
+    )
 
 
 def test_persistent_store_cross_validate_reuse(profile):

@@ -36,7 +36,7 @@ from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.sharded import shard_indices
 from repro.hdc.training_state import TrainingState, merge_states
 from repro.eval.methods import METHOD_NAMES
-from repro.eval.parallel import ENV_N_JOBS
+from repro.eval.parallel import ENV_N_JOBS, TaskPolicy
 from repro.eval.reporting import render_figure3, render_series, render_table
 from repro.eval.robustness import graphhd_robustness_curve
 from repro.eval.scaling import scaling_experiment
@@ -92,6 +92,32 @@ def _add_parallel_arguments(parser) -> None:
         "worker processes share one page-cached matrix instead of copying it "
         "(results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any evaluation task attempt running longer than "
+        "this many seconds (needs worker processes, i.e. --n-jobs > 1; "
+        "default: unlimited)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failed/timed-out/killed evaluation task up to N more "
+        "times with exponential backoff before quarantining it "
+        "(results stay bit-identical to an undisturbed run; default: 0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="directory of a crash-safe result journal: completed tasks are "
+        "recorded as they finish, and re-running the same command resumes "
+        "from the journal, executing only unfinished tasks",
+    )
 
 
 def _encoding_store_from_args(args) -> tuple[EncodingStore | None, str]:
@@ -124,6 +150,16 @@ def _encoding_store_from_args(args) -> tuple[EncodingStore | None, str]:
 def _mmap_mode_from_args(args) -> str | None:
     """The store mmap policy selected by ``--encoding-store-mmap``."""
     return "r" if getattr(args, "encoding_store_mmap", False) else None
+
+
+def _task_policy_from_args(args) -> TaskPolicy | None:
+    """The fault-tolerance policy selected by the CLI flags (None = default)."""
+    timeout = getattr(args, "task_timeout", None)
+    retries = getattr(args, "task_retries", 0) or 0
+    checkpoint = getattr(args, "checkpoint", None)
+    if timeout is None and retries == 0 and checkpoint is None:
+        return None
+    return TaskPolicy(timeout=timeout, retries=retries, checkpoint_dir=checkpoint)
 
 
 def _store_summary(store: EncodingStore | None) -> str:
@@ -362,6 +398,7 @@ def run_quickstart(args) -> str:
         n_jobs=args.n_jobs,
         encoding_store=store,
         mmap_mode=_mmap_mode_from_args(args),
+        task_policy=_task_policy_from_args(args),
     )
     rows = [
         ["dataset", dataset.name],
@@ -401,6 +438,7 @@ def run_compare(args) -> str:
         n_jobs=args.n_jobs,
         encoding_store=store,
         mmap_mode=_mmap_mode_from_args(args),
+        task_policy=_task_policy_from_args(args),
     )
     output = preamble + render_figure3(comparison)
     # With the encoding cache, per-fold training time excludes encoding; show
@@ -450,6 +488,7 @@ def run_scaling(args) -> str:
         n_jobs=args.n_jobs,
         encoding_store=store,
         mmap_mode=_mmap_mode_from_args(args),
+        task_policy=_task_policy_from_args(args),
     )
     series = {
         method: [round(point.train_seconds[method], 4) for point in points]
@@ -503,6 +542,7 @@ def run_robustness(args) -> str:
         n_jobs=args.n_jobs,
         encoding_store=store,
         mmap_mode=_mmap_mode_from_args(args),
+        task_policy=_task_policy_from_args(args),
     )
     rows = [
         [f"{point.corruption_fraction:.0%}", round(point.accuracy, 4)]

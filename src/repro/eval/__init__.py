@@ -12,9 +12,18 @@ This subpackage implements the paper's experimental protocol:
 * :mod:`repro.eval.scaling` — the Erdős–Rényi graph-size sweep of Figure 4;
 * :mod:`repro.eval.robustness` — accuracy under corrupted model memory (the
   paper's holographic-robustness claim, quantified);
-* :mod:`repro.eval.parallel` — the deterministic process-pool executor every
-  harness fans out over (``n_jobs`` / ``REPRO_N_JOBS``), with bit-identical
-  results for every worker count;
+* :mod:`repro.eval.parallel` — the supervised, deterministic process-pool
+  executor every harness fans out over (``n_jobs`` / ``REPRO_N_JOBS``):
+  bit-identical results for every worker count *and* every recovery path —
+  per-task timeouts, bounded retries with backoff, pool rebuild after worker
+  death, and poison-task quarantine with structured failure reports, all
+  configured by a :class:`~repro.eval.parallel.TaskPolicy`;
+* :mod:`repro.eval.checkpoint` — the crash-safe on-disk journal of completed
+  task results behind ``TaskPolicy.checkpoint_dir``; interrupted runs resume
+  by replaying the journal and executing only the remainder;
+* :mod:`repro.eval.faults` — deterministic fault injection (transient
+  exceptions, worker SIGKILL, hangs, torn writes) used by the
+  fault-tolerance tests and the CI crash-recovery smoke;
 * :mod:`repro.eval.encoding_store` — the persistent on-disk encoding cache
   shared across folds, processes and runs, with mmap-able read-only entries
   and a manifest-driven prune/clear/migrate lifecycle (``repro store``);
@@ -26,10 +35,25 @@ This subpackage implements the paper's experimental protocol:
 """
 
 from repro.eval.metrics import accuracy_score, confusion_matrix, per_class_accuracy
+from repro.eval.checkpoint import JournalMismatchError, TaskJournal
 from repro.eval.cross_validation import CrossValidationResult, FoldResult, cross_validate
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
-from repro.eval.parallel import resolve_n_jobs, run_tasks
-from repro.eval.sharded import ShardedFitResult, fit_shard, fit_sharded, shard_indices
+from repro.eval.parallel import (
+    TaskFailure,
+    TaskPolicy,
+    TaskQuarantineError,
+    TaskRunReport,
+    resolve_n_jobs,
+    run_tasks,
+    supervise_tasks,
+)
+from repro.eval.sharded import (
+    ShardedFitResult,
+    ShardFitError,
+    fit_shard,
+    fit_sharded,
+    shard_indices,
+)
 from repro.eval.methods import METHOD_NAMES, make_method
 from repro.eval.comparison import ComparisonResult, compare_methods
 from repro.eval.scaling import ScalingPoint, scaling_experiment
@@ -52,6 +76,14 @@ __all__ = [
     "dataset_encodings",
     "resolve_n_jobs",
     "run_tasks",
+    "supervise_tasks",
+    "TaskFailure",
+    "TaskPolicy",
+    "TaskQuarantineError",
+    "TaskRunReport",
+    "TaskJournal",
+    "JournalMismatchError",
+    "ShardFitError",
     "ShardedFitResult",
     "fit_shard",
     "fit_sharded",

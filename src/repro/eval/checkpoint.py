@@ -1,0 +1,189 @@
+"""Crash-safe on-disk journal of completed task results.
+
+The checkpoint half of the supervised runtime (:mod:`repro.eval.parallel`):
+when a :class:`~repro.eval.parallel.TaskPolicy` carries a ``checkpoint_dir``,
+every completed task result is pickled into a :class:`TaskJournal` with the
+same atomic temp-file + ``os.replace`` discipline as the encoding store, so a
+run interrupted by a crash, a poison-task quarantine, or Ctrl-C resumes by
+replaying the journal and executing only the remainder.
+
+Journal layout::
+
+    journal.json        run metadata (version, num_tasks, tag)
+    task-00000003.pkl   pickled result of task index 3
+
+``journal.json`` guards against resuming the wrong run: opening an existing
+journal with a different ``num_tasks`` or ``tag`` raises
+:class:`JournalMismatchError` instead of silently serving results from an
+incompatible task list.  The harnesses derive their tags from everything that
+shapes the task list (dataset, method, fold plan, base seed), so a journal can
+only ever be replayed into the run that wrote it.
+
+Because tasks are pure functions of pre-run state (the contract of
+:func:`repro.eval.parallel.run_tasks`), a replayed result is bit-identical to
+re-executing its task — resumed runs therefore produce exactly the output of
+an uninterrupted one.  A torn or corrupt result file (e.g. the process died
+mid-``os.replace`` *sequence* on a non-atomic filesystem, or the file was
+truncated afterwards) is detected at replay time, removed, and its task simply
+runs again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import tempfile
+
+__all__ = ["JOURNAL_VERSION", "JournalMismatchError", "TaskJournal"]
+
+#: Bumped when the journal layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: Name of the run-metadata file inside the journal directory.
+META_NAME = "journal.json"
+
+#: Prefix of in-flight temp files (same convention as the encoding store).
+TEMP_PREFIX = ".tmp-"
+
+_RESULT_PATTERN = re.compile(r"^task-(\d+)\.pkl$")
+
+
+class JournalMismatchError(ValueError):
+    """An existing journal was written by a run with a different shape."""
+
+
+class TaskJournal:
+    """Append-only journal of completed task results for one run.
+
+    Parameters
+    ----------
+    path:
+        Directory holding the journal (created if missing).
+    num_tasks:
+        Length of the run's task list; an existing journal with a different
+        value is rejected.
+    tag:
+        Optional run-shape fingerprint (the harnesses encode dataset, method,
+        fold plan and base seed); an existing journal with a different tag is
+        rejected.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, *, num_tasks: int, tag: str | None = None
+    ):
+        if num_tasks < 0:
+            raise ValueError(f"num_tasks must be non-negative, got {num_tasks}")
+        self.path = os.fspath(path)
+        self.num_tasks = int(num_tasks)
+        self.tag = tag
+        os.makedirs(self.path, exist_ok=True)
+        self._load_or_create_meta()
+
+    # -- metadata -----------------------------------------------------------
+
+    def _load_or_create_meta(self) -> None:
+        meta_path = os.path.join(self.path, META_NAME)
+        if os.path.exists(meta_path):
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            for key, ours in (("num_tasks", self.num_tasks), ("tag", self.tag)):
+                theirs = meta.get(key)
+                if theirs != ours:
+                    raise JournalMismatchError(
+                        f"checkpoint journal at {self.path!r} belongs to a "
+                        f"different run: its {key} is {theirs!r} but this "
+                        f"run's is {ours!r}; point the checkpoint at a fresh "
+                        "directory (or clear() the journal) to start over"
+                    )
+            return
+        payload = {
+            "journal_version": JOURNAL_VERSION,
+            "num_tasks": self.num_tasks,
+            "tag": self.tag,
+        }
+        data = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._write_atomic(meta_path, data + b"\n")
+
+    # -- results ------------------------------------------------------------
+
+    def result_path(self, index: int) -> str:
+        return os.path.join(self.path, f"task-{index:08d}.pkl")
+
+    def record(self, index: int, result: object) -> None:
+        """Durably journal one completed task result (atomic publish)."""
+        if not 0 <= index < self.num_tasks:
+            raise ValueError(
+                f"task index {index} out of range for a {self.num_tasks}-task run"
+            )
+        data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(self.result_path(index), data)
+
+    def completed(self) -> dict[int, object]:
+        """Replay every journaled result as ``{task_index: result}``.
+
+        A torn or unpicklable result file is removed so its task re-runs;
+        resuming therefore never trusts a partially-written checkpoint.
+        """
+        replayed: dict[int, object] = {}
+        for name in sorted(os.listdir(self.path)):
+            match = _RESULT_PATTERN.match(name)
+            if match is None:
+                continue
+            index = int(match.group(1))
+            if index >= self.num_tasks:  # pragma: no cover - meta check bars this
+                continue
+            path = os.path.join(self.path, name)
+            try:
+                with open(path, "rb") as handle:
+                    replayed[index] = pickle.load(handle)
+            except Exception:
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - raced removal
+                    pass
+        return replayed
+
+    def completed_indices(self) -> list[int]:
+        """Journaled task indices, without unpickling the results."""
+        indices = []
+        for name in os.listdir(self.path):
+            match = _RESULT_PATTERN.match(name)
+            if match is not None and int(match.group(1)) < self.num_tasks:
+                indices.append(int(match.group(1)))
+        return sorted(indices)
+
+    def clear(self) -> int:
+        """Delete every journaled result, temp file, and the metadata.
+
+        Returns the number of result files removed.
+        """
+        removed = 0
+        for name in os.listdir(self.path):
+            is_result = _RESULT_PATTERN.match(name) is not None
+            if not (
+                is_result or name == META_NAME or name.startswith(TEMP_PREFIX)
+            ):
+                continue
+            try:
+                os.remove(os.path.join(self.path, name))
+                removed += int(is_result)
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        return removed
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _write_atomic(self, final_path: str, data: bytes) -> None:
+        descriptor, temp_path = tempfile.mkstemp(dir=self.path, prefix=TEMP_PREFIX)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, final_path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise

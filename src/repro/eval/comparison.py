@@ -10,6 +10,7 @@ same results.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Sequence
@@ -20,7 +21,12 @@ from repro.datasets.dataset import GraphDataset
 from repro.eval.cross_validation import CrossValidationResult, cross_validate
 from repro.eval.encoding_store import EncodingStore
 from repro.eval.methods import METHOD_NAMES, make_method
-from repro.eval.parallel import resolve_n_jobs, run_tasks
+from repro.eval.parallel import TaskPolicy, resolve_n_jobs, run_tasks
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe token for per-cell checkpoint subdirectories."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "cell"
 
 
 @dataclass
@@ -112,6 +118,7 @@ def compare_methods(
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
     mmap_mode: str | None = None,
+    task_policy: TaskPolicy | None = None,
 ) -> ComparisonResult:
     """Run the Figure 3 comparison over the given datasets and methods.
 
@@ -131,6 +138,11 @@ def compare_methods(
     encoding per (config, dataset) across cells, processes and runs;
     ``mmap_mode="r"`` additionally serves store hits as read-only
     memory-mapped views shared through the page cache.
+
+    ``task_policy`` applies fault tolerance at whichever level is parallel:
+    a many-cell grid supervises the cells (each cell's checkpoint journal
+    lives under ``cells/<dataset>-<method>`` inside the policy's checkpoint
+    directory), a single-cell grid forwards the policy to its folds.
     """
     comparison = ComparisonResult()
     pairs = [(dataset, method_name) for dataset in datasets for method_name in methods]
@@ -140,6 +152,14 @@ def compare_methods(
     grid_jobs, fold_jobs = (jobs, 1) if len(pairs) > 1 else (1, jobs)
 
     def run_cell(dataset: GraphDataset, method_name: str) -> CrossValidationResult:
+        # Each cell journals (and retries) its own folds; when the grid
+        # itself is the parallel level, the grid journal below supervises
+        # whole cells instead and the folds run with the default policy.
+        cell_policy = None
+        if task_policy is not None and grid_jobs == 1:
+            cell_policy = task_policy.scoped(
+                "cells", _slug(f"{dataset.name}-{method_name}")
+            )
         return cross_validate(
             lambda: make_method(
                 method_name, fast=fast, seed=seed, dimension=dimension, backend=backend
@@ -154,11 +174,23 @@ def compare_methods(
             n_jobs=fold_jobs,
             encoding_store=encoding_store,
             mmap_mode=mmap_mode,
+            task_policy=cell_policy,
         )
 
+    grid_policy = task_policy.scoped("grid") if task_policy is not None else None
+    if grid_policy is not None and grid_jobs == 1:
+        # The folds carry the policy; don't double-journal whole cells.
+        grid_policy = None
     results = run_tasks(
         [partial(run_cell, dataset, method_name) for dataset, method_name in pairs],
         n_jobs=grid_jobs,
+        policy=grid_policy,
+        checkpoint_tag=(
+            "compare_methods:"
+            + ",".join(f"{d.name}/{m}" for d, m in pairs)
+            + f":{n_splits}x{repetitions}:max={max_folds_per_repetition}"
+            f":seed={seed}:dim={dimension}:backend={backend}:fast={fast}"
+        ),
     )
     for (dataset, method_name), result in zip(pairs, results):
         comparison.results[(dataset.name, method_name)] = result

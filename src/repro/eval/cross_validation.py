@@ -26,7 +26,7 @@ from repro.datasets.dataset import GraphDataset
 from repro.datasets.splits import StratifiedKFold
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.metrics import accuracy_score
-from repro.eval.parallel import run_tasks
+from repro.eval.parallel import TaskPolicy, run_tasks
 
 
 @dataclass
@@ -174,6 +174,7 @@ def cross_validate(
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
     mmap_mode: str | None = None,
+    task_policy: TaskPolicy | None = None,
 ) -> CrossValidationResult:
     """Run repeated stratified K-fold cross-validation for one method.
 
@@ -224,6 +225,13 @@ def cross_validate(
         instead of copying it; results are bit-identical to in-memory loads
         (folds only slice the matrix, which copies).  Ignored without a
         store.
+    task_policy:
+        Fault-tolerance policy for the fold tasks
+        (:class:`~repro.eval.parallel.TaskPolicy`): per-fold timeout, bounded
+        retries with backoff, and an optional checkpoint journal so an
+        interrupted run resumes executing only the missing folds.  Folds are
+        pure functions of the up-front plan, so retried and resumed runs
+        stay bit-identical to a clean serial run.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
@@ -312,7 +320,16 @@ def cross_validate(
             test_indices=tuple(int(index) for index in test_indices),
         )
 
+    # The journal tag captures everything that shapes the fold plan, so a
+    # checkpoint can only resume into the run that wrote it.
     result.folds = run_tasks(
-        [lambda task=task: run_fold(task) for task in plan], n_jobs=n_jobs
+        [lambda task=task: run_fold(task) for task in plan],
+        n_jobs=n_jobs,
+        policy=task_policy,
+        checkpoint_tag=(
+            f"cross_validate:{method_name}:{dataset.name}:"
+            f"{n_splits}x{repetitions}:max={max_folds_per_repetition}:"
+            f"seed={base_seed}"
+        ),
     )
     return result

@@ -102,6 +102,12 @@ MANIFEST_NAME = "manifest.json"
 #: Prefix of in-flight temporary files; never counted as entries.
 TEMP_PREFIX = ".tmp-"
 
+#: Default grace period (seconds) before a stray temp file may be swept.
+#: A concurrent writer's in-flight temp file looks exactly like crash
+#: wreckage; only age tells them apart.  Writes take well under a minute,
+#: so anything older is safe to reclaim.
+TEMP_SWEEP_GRACE_SECONDS = 60.0
+
 
 @dataclass
 class EntryInfo:
@@ -499,23 +505,41 @@ class EncodingStore:
                     strays.append(name)
         return sorted(strays)
 
-    def sweep_temp_files(self) -> int:
-        """Delete stray temporary files and orphaned sidecars; returns the count."""
+    def sweep_temp_files(self, *, min_age: float | None = None) -> int:
+        """Delete stray temp files and orphaned sidecars older than ``min_age``.
+
+        ``min_age`` defaults to :data:`TEMP_SWEEP_GRACE_SECONDS`: a stray
+        younger than the grace period may be a *concurrent writer's in-flight
+        temp file* and is left alone — sweeping it out from under the writer
+        would make its ``os.replace`` publish vanish or fail.  Ages come
+        from the files' mtimes against wall-clock time (the injectable store
+        clock orders manifest events, not filesystem timestamps).  Pass
+        ``min_age=0`` to force-sweep everything, e.g. when the store is
+        known quiescent.  Returns the number of files removed.
+        """
+        grace = TEMP_SWEEP_GRACE_SECONDS if min_age is None else float(min_age)
+        horizon = time.time() - grace
         removed = 0
         for name in self.temp_files():
+            path = os.path.join(self.path, name)
             try:
-                os.remove(os.path.join(self.path, name))
+                if grace > 0 and os.path.getmtime(path) > horizon:
+                    continue
+                os.remove(path)
                 removed += 1
             except OSError:
                 pass
         return removed
 
-    def clear(self) -> ClearReport:
-        """Delete every entry, stray temporary file and orphaned sidecar.
+    def clear(self, *, sweep_min_age: float | None = None) -> ClearReport:
+        """Delete every entry, aged stray temporary file and orphaned sidecar.
 
         Returns a :class:`ClearReport` counting complete entries and swept
         stray files separately, so the number of "entries removed" matches
-        what :meth:`entries` would have reported.
+        what :meth:`entries` would have reported.  Strays younger than the
+        sweep grace period survive (see :meth:`sweep_temp_files`) — they may
+        belong to a writer racing this ``clear``; pass ``sweep_min_age=0``
+        to remove them too.
         """
         report = ClearReport()
         if not os.path.isdir(self.path):
@@ -523,7 +547,7 @@ class EncodingStore:
         for key in self.entries():
             if self._remove_entry(key):
                 report.entries_removed += 1
-        report.temp_files_removed = self.sweep_temp_files()
+        report.temp_files_removed = self.sweep_temp_files(min_age=sweep_min_age)
         try:
             os.remove(self._manifest_path())
         except OSError:
@@ -552,7 +576,9 @@ class EncodingStore:
             implemented.
 
         Both bounds may be combined; with neither, nothing is removed.
-        Stray temporary files are always swept.
+        Stray temporary files past the sweep grace period are swept
+        (see :meth:`sweep_temp_files`); younger strays may belong to a
+        concurrent writer and survive.
         """
         if policy != "lru":
             raise ValueError(f"unknown eviction policy {policy!r}; expected 'lru'")

@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the supervised evaluation runtime.
+
+A small toolkit the fault-tolerance tests and the CI crash-recovery smoke
+drive against :mod:`repro.eval.parallel` and the encoding store.  It covers
+the failure modes the supervised pool claims to survive:
+
+* :func:`fail_first_calls` — transient exceptions (flaky I/O, spurious
+  numerical guards) that succeed on retry;
+* :func:`kill_first_calls` — outright worker death (``SIGKILL``, the OOM
+  killer, infra preemption) that skips every ``finally`` block;
+* :func:`hang_first_calls` — tasks that sleep past any sane per-task timeout;
+* :func:`exit_on_replace` / :func:`truncate_file` — a writer killed in the
+  middle of a crash-safe save, and torn-write corruption of published files.
+
+Injectors must count calls *across process boundaries* — the supervised pool
+retries a task in a different worker, or serially in the parent — so the
+shared "how many times has this run" state lives on disk: :class:`FaultState`
+claims one ``O_CREAT | O_EXCL`` file per call, which is atomic on POSIX no
+matter which process asks.  That keeps the injected schedule deterministic
+("exactly the first N calls fail, wherever they run") and therefore keeps the
+recovered results comparable bit-for-bit against a clean run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Callable, TypeVar
+
+__all__ = [
+    "FaultState",
+    "TransientFault",
+    "exit_on_replace",
+    "fail_first_calls",
+    "hang_first_calls",
+    "kill_first_calls",
+    "truncate_file",
+]
+
+T = TypeVar("T")
+
+_CLAIM_PREFIX = "call-"
+
+
+class TransientFault(RuntimeError):
+    """The exception the transient-failure injectors raise."""
+
+
+class FaultState:
+    """A cross-process call counter backed by exclusive claim files.
+
+    Every :meth:`next_call` creates ``call-NNNNNN`` with
+    ``O_CREAT | O_EXCL`` — an atomic claim, so concurrent workers can never
+    observe the same call number and the "first N calls" schedule is exact
+    even when attempts run in different processes.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+
+    def _claim_path(self, number: int) -> str:
+        return os.path.join(self.path, f"{_CLAIM_PREFIX}{number:06d}")
+
+    def next_call(self) -> int:
+        """Claim and return the next 1-based global call number."""
+        number = self.calls() + 1
+        while True:
+            try:
+                os.close(
+                    os.open(
+                        self._claim_path(number),
+                        os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    )
+                )
+                return number
+            except FileExistsError:
+                number += 1
+
+    def calls(self) -> int:
+        """How many calls have been claimed so far (by any process)."""
+        try:
+            names = os.listdir(self.path)
+        except FileNotFoundError:
+            return 0
+        return sum(1 for name in names if name.startswith(_CLAIM_PREFIX))
+
+    def reset(self) -> None:
+        """Forget every claimed call (the next call is number 1 again)."""
+        for name in os.listdir(self.path):
+            if name.startswith(_CLAIM_PREFIX):
+                try:
+                    os.remove(os.path.join(self.path, name))
+                except OSError:  # pragma: no cover - raced removal
+                    pass
+
+
+def fail_first_calls(
+    task: Callable[[], T],
+    state: FaultState,
+    n: int,
+    *,
+    exception_type: type[Exception] = TransientFault,
+) -> Callable[[], T]:
+    """Wrap ``task`` so its first ``n`` calls (across all processes sharing
+    ``state``) raise ``exception_type``; later calls run the task normally."""
+
+    def flaky() -> T:
+        call = state.next_call()
+        if call <= n:
+            raise exception_type(
+                f"injected transient fault (doomed call {call} of {n})"
+            )
+        return task()
+
+    return flaky
+
+
+def kill_first_calls(
+    task: Callable[[], T],
+    state: FaultState,
+    n: int,
+    *,
+    sig: int = signal.SIGKILL,
+) -> Callable[[], T]:
+    """First ``n`` calls kill their host process outright.
+
+    A stand-in for the OOM killer or infra preemption: ``SIGKILL`` skips every
+    ``except``/``finally`` in the worker, exactly like the real thing.  The
+    supervised pool must notice the dead worker, rebuild the slot, and re-run
+    the orphaned task.
+    """
+
+    def doomed() -> T:
+        if state.next_call() <= n:
+            os.kill(os.getpid(), sig)
+            time.sleep(60)  # pragma: no cover - only for non-KILL signals
+        return task()
+
+    return doomed
+
+
+def hang_first_calls(
+    task: Callable[[], T],
+    state: FaultState,
+    n: int,
+    *,
+    seconds: float = 3600.0,
+) -> Callable[[], T]:
+    """First ``n`` calls sleep past any sane per-task timeout, then finish."""
+
+    def hanging() -> T:
+        if state.next_call() <= n:
+            time.sleep(seconds)
+        return task()
+
+    return hanging
+
+
+@contextmanager
+def exit_on_replace(suffix: str, *, sig: int = signal.SIGKILL):
+    """Kill the process the moment it tries to *publish* a matching file.
+
+    Inside the context, ``os.replace(src, dst)`` with ``dst`` ending in
+    ``suffix`` raises ``sig`` at the calling process instead of publishing —
+    the precise "writer died mid-save" injector for the store's crash-safety
+    tests: everything published before the doomed rename stays, the temp file
+    of the doomed write is left stranded, and nothing half-written ever
+    appears under a final name.
+    """
+    real_replace = os.replace
+
+    def dying_replace(src, dst, **kwargs):
+        if os.fspath(dst).endswith(suffix):
+            os.kill(os.getpid(), sig)
+            time.sleep(60)  # pragma: no cover - only for non-KILL signals
+        return real_replace(src, dst, **kwargs)
+
+    os.replace = dying_replace
+    try:
+        yield
+    finally:
+        os.replace = real_replace
+
+
+def truncate_file(path: str | os.PathLike, *, keep_fraction: float = 0.5) -> int:
+    """Truncate a published file in place (torn-write corruption injector).
+
+    Returns the number of bytes kept.  Readers must treat the mutilated file
+    as a miss/corrupt entry, not crash on it.
+    """
+    if not 0 <= keep_fraction < 1:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    os.truncate(path, keep)
+    return keep

@@ -1,12 +1,12 @@
-"""Deterministic process-pool execution for the evaluation harness.
+"""Supervised, deterministic process-pool execution for the evaluation harness.
 
 The evaluation protocol is embarrassingly parallel at four levels — folds x
 repetitions inside :func:`repro.eval.cross_validation.cross_validate`, the
 (dataset, method) grid in :func:`repro.eval.comparison.compare_methods`, the
 sweep points of the scaling and robustness experiments, and the training
-shards of :func:`repro.eval.sharded.fit_sharded`.  This module
-provides the one execution primitive they all share: :func:`run_tasks` fans a
-list of zero-argument callables out over a pool of worker processes and
+shards of :func:`repro.eval.sharded.fit_sharded`.  This module provides the
+one execution primitive they all share: :func:`run_tasks` fans a list of
+zero-argument callables out over a pool of supervised worker processes and
 returns their results **in task order**.
 
 Determinism is structural, not incidental:
@@ -14,26 +14,74 @@ Determinism is structural, not incidental:
 * Every task must be a *pure function* of state captured before the pool is
   created — the callers precompute fold splits, per-task seeds and cached
   encodings up front, so a task's result cannot depend on which worker runs
-  it or in which order tasks are scheduled.
-* Results are collected by task index (``Pool.map`` over ``range(len(tasks))``),
-  so the output order equals the serial iteration order.
+  it, in which order tasks are scheduled, or — new with the supervised
+  runtime — on *how many times* it had to be attempted.
+* Results are collected by task index, so the output order equals the serial
+  iteration order regardless of completion order.
 
 Together these make ``n_jobs > 1`` produce **bit-identical** results to the
-serial path (``n_jobs=1`` short-circuits to a plain loop), which the
-``tests/eval/test_parallel_equivalence.py`` suite locks down.  The one
+serial path (``n_jobs=1`` short-circuits to an in-process loop), and they
+extend the same guarantee to every recovery path: a retried, re-executed, or
+journal-resumed run returns exactly what a clean serial run would have.  The
+``tests/eval/test_parallel_equivalence.py`` and
+``tests/eval/test_fault_tolerance.py`` suites lock both down.  The one
 exception, by nature: wall-clock *timing* fields inside results are measured
 where the task runs, so under ``n_jobs > 1`` they reflect workers contending
 for cores — use ``n_jobs=1`` when the timings themselves are the experiment
 (the paper's Figure 3/4 protocols).
 
+Supervision
+-----------
+
+A bare ``Pool.map`` dies wholesale on the first worker crash, OOM kill, or
+transient exception, discarding every completed result.  Here each worker is
+a directly-managed forked process with its own inbox/outbox queue pair, and a
+supervisor loop in the parent waits on the outbox pipes *and* the process
+sentinels, so it distinguishes the three failure modes a long evaluation
+actually meets (all governed by a :class:`TaskPolicy`):
+
+* **Transient exceptions** — the attempt is retried (in the pool) up to
+  ``retries`` more times with exponential backoff.
+* **Task timeout** — an attempt exceeding ``timeout`` seconds has its worker
+  killed, the pool slot is rebuilt, and the task is retried like any other
+  failed attempt.  Timeouts require a worker process to kill, so they are
+  enforced only under process parallelism (serial attempts run inline).
+* **Worker death** — a worker that vanishes mid-task (``SIGKILL``/OOM) is
+  detected via its sentinel; the pool slot is rebuilt and the orphaned task
+  is re-executed *in-process* in the parent, where code is known to run even
+  if every forked worker is doomed.
+
+A task that exhausts ``retries + 1`` attempts is **quarantined**, not allowed
+to poison the run: the remaining tasks still execute, and the caller gets a
+:class:`TaskQuarantineError` carrying structured :class:`TaskFailure` reports
+(task index, per-attempt kind and traceback) — or, via
+:func:`supervise_tasks`, a :class:`TaskRunReport` with the partial results.
+With ``TaskPolicy.checkpoint_dir`` set, every completed result also spills to
+a crash-safe :class:`~repro.eval.checkpoint.TaskJournal` (atomic temp-file +
+``os.replace``, same discipline as the encoding store) so an interrupted run
+resumes by replaying the journal and executing only the remainder.
+
+One documented hole remains: a worker killed at the precise instant it is
+writing a result into its outbox pipe can leave a torn message that blocks
+that queue.  Each worker owns a private outbox, so at worst the supervisor
+mistakes the torn result for a hang (recovered by ``timeout``) — the fault
+injectors in :mod:`repro.eval.faults` kill inside the task body, as the OOM
+killer almost always does (the process is at peak memory while computing,
+not while writing a few result bytes).
+
 Workers are started with the ``fork`` start method and read their tasks from
-a module-level list inherited at fork time.  This means closures (method
+a module-level registry inherited at fork time.  This means closures (method
 factories, fold index arrays) and large cached encoding matrices are shared
 with the workers copy-on-write instead of being pickled per task; only the
-small per-fold result objects travel back over the pipe.  On platforms
-without ``fork`` (or inside a daemonic worker, where nesting pools is not
-allowed) execution silently degrades to the serial loop — same results,
-no parallelism.
+small per-task result objects travel back over the pipe.  The registry is
+keyed by a per-run token, so concurrent ``run_tasks`` calls from different
+threads (or a retry pool rebuilt mid-run) never clobber each other's handoff.
+On platforms without ``fork`` (or inside a daemonic worker, where nesting
+pools is not allowed) execution degrades to the serial loop — same results,
+no parallelism — after a ``RuntimeWarning`` routed through the standard
+``warnings`` machinery (deduplicated by the warnings registry, so tests and
+callers re-arm it with ``warnings.simplefilter("always")`` or
+``catch_warnings()`` rather than poking a module global).
 
 Copy-on-write sharing is strongest when the parent loads its encodings from
 the persistent store with ``mmap_mode="r"``
@@ -48,21 +96,39 @@ matrix takes its own copy with ``np.array(encodings)``.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
+import threading
+import time
+import traceback
 import warnings
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.eval.checkpoint import TaskJournal
 
 T = TypeVar("T")
 
 #: Environment variable consulted when ``n_jobs`` is not given explicitly.
 ENV_N_JOBS = "REPRO_N_JOBS"
 
-#: Task list read by forked workers; set only for the lifetime of one pool.
-_TASKS: Sequence[Callable[[], object]] | None = None
+#: Per-run task lists read by forked workers, keyed by run token.  A dict —
+#: not a single slot — so nested or concurrent runs never clobber each
+#: other's handoff: each run claims a fresh token, publishes its tasks under
+#: it *before* forking, and removes the entry once its pool is gone.
+_TASK_GROUPS: dict[int, Sequence[Callable[[], object]]] = {}
+_TOKEN_COUNTER = itertools.count()
+_TOKEN_LOCK = threading.Lock()
 
-#: Whether the serial-degradation warning has been emitted already.
-_WARNED_SERIAL_FALLBACK = False
+#: Supervisor poll cadence (seconds) when no deadline or backoff is nearer.
+_SUPERVISOR_TICK = 0.2
+
+#: Seconds a worker gets to exit voluntarily at shutdown before SIGKILL.
+_SHUTDOWN_GRACE = 1.0
 
 
 def usable_cores() -> int:
@@ -108,47 +174,505 @@ def parallelism_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _run_task(index: int):
-    return _TASKS[index]()
+# ---------------------------------------------------------------------------
+# Policy and failure reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Fault-tolerance policy for one :func:`run_tasks` run.
+
+    Attributes
+    ----------
+    timeout:
+        Seconds one *attempt* may run inside a worker before the worker is
+        killed and the attempt counts as failed.  ``None`` (default) means
+        unlimited.  Enforced only under process parallelism — a serial
+        attempt runs in the supervisor's own process, which has nothing it
+        can safely kill.
+    retries:
+        Additional attempts after the first; a task failing all
+        ``retries + 1`` attempts is quarantined into a :class:`TaskFailure`.
+    backoff:
+        Base of the exponential retry delay: the wait before retry *k* is
+        ``backoff * 2**(k - 1)`` seconds.
+    checkpoint_dir:
+        Directory for the crash-safe result journal
+        (:class:`~repro.eval.checkpoint.TaskJournal`); ``None`` disables
+        checkpointing.  An existing journal for the same run shape is
+        replayed — only unfinished tasks execute.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+    checkpoint_dir: str | os.PathLike | None = None
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+
+    @property
+    def attempts_allowed(self) -> int:
+        return int(self.retries) + 1
+
+    def retry_delay(self, failed_attempts: int) -> float:
+        """Backoff before the next attempt, given attempts failed so far."""
+        return float(self.backoff) * (2.0 ** max(0, failed_attempts - 1))
+
+    def scoped(self, *parts: str) -> "TaskPolicy":
+        """A copy whose checkpoint journal lives in a subdirectory.
+
+        Lets a harness that fans out *nested* runs (the comparison grid runs
+        one ``cross_validate`` per cell) give every level its own journal.
+        A no-op when checkpointing is disabled.
+        """
+        if self.checkpoint_dir is None or not parts:
+            return self
+        return replace(
+            self,
+            checkpoint_dir=os.path.join(os.fspath(self.checkpoint_dir), *parts),
+        )
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One failed attempt at a task.
+
+    ``kind`` is ``"exception"`` (the task raised), ``"timeout"`` (the attempt
+    exceeded :attr:`TaskPolicy.timeout` and its worker was killed), or
+    ``"worker-death"`` (the worker process vanished mid-task — SIGKILL/OOM).
+    ``detail`` carries the worker-side traceback, or a description of how the
+    worker died.
+    """
+
+    number: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class TaskFailure:
+    """A task that exhausted its retry budget, with its full attempt history."""
+
+    index: int
+    attempts: list[TaskAttempt] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"task {self.index} quarantined after "
+            f"{len(self.attempts)} attempt(s):"
+        ]
+        for attempt in self.attempts:
+            lines.append(f"  attempt {attempt.number} [{attempt.kind}]:")
+            lines.extend(
+                "    " + line for line in attempt.detail.rstrip().splitlines()
+            )
+        return "\n".join(lines)
+
+
+class TaskQuarantineError(RuntimeError):
+    """Raised by :func:`run_tasks` when tasks exhausted their retry budget.
+
+    Carries the structured reports in :attr:`failures`; the message embeds
+    every attempt's traceback, so matching on the original exception text
+    keeps working.  Subclasses ``RuntimeError`` for exactly that kind of
+    backward compatibility.
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure]):
+        self.failures = list(failures)
+        header = (
+            f"{len(self.failures)} task(s) quarantined after exhausting "
+            "their retry budget"
+        )
+        super().__init__(
+            "\n".join([header] + [failure.summary() for failure in self.failures])
+        )
+
+
+@dataclass
+class TaskRunReport:
+    """Outcome of :func:`supervise_tasks`.
+
+    ``results`` is in task order with ``None`` at quarantined indices;
+    ``replayed`` counts results restored from the checkpoint journal instead
+    of executed; ``n_jobs`` is the worker count the run effectively used.
+    """
+
+    results: list
+    failures: list[TaskFailure] = field(default_factory=list)
+    replayed: int = 0
+    n_jobs: int = 1
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [failure.index for failure in self.failures]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(token: int, inbox, outbox) -> None:
+    """Worker loop: run task indices from the inbox until told to stop."""
+    tasks = _TASK_GROUPS[token]
+    while True:
+        index = inbox.get()
+        if index is None:
+            return
+        try:
+            result = tasks[index]()
+        except Exception:
+            outbox.put((index, False, traceback.format_exc()))
+        else:
+            try:
+                outbox.put((index, True, result))
+            except Exception:
+                # e.g. an unpicklable result: SimpleQueue serializes before
+                # writing, so nothing partial reached the pipe.
+                outbox.put((index, False, traceback.format_exc()))
+
+
+class _WorkerHandle:
+    """One supervised worker: a forked process plus its inbox/outbox pair."""
+
+    def __init__(self, context, token: int):
+        self.inbox = context.SimpleQueue()
+        self.outbox = context.SimpleQueue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(token, self.inbox, self.outbox),
+            daemon=True,  # a nested run_tasks inside a task degrades serially
+        )
+        self.process.start()
+        self.task_index: int | None = None
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_index is not None
+
+    def dispatch(self, index: int, timeout: float | None) -> None:
+        self.task_index = index
+        self.deadline = None if timeout is None else time.monotonic() + timeout
+        self.inbox.put(index)
+
+    def finish(self) -> None:
+        self.task_index = None
+        self.deadline = None
+
+    def timed_out(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        self._close_queues()
+
+    def shutdown(self) -> None:
+        if self.process.is_alive():
+            try:
+                self.inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - dead pipe
+                pass
+        self.process.join(timeout=_SHUTDOWN_GRACE)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        self._close_queues()
+
+    def _close_queues(self) -> None:
+        for queue in (self.inbox, self.outbox):
+            try:
+                queue.close()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Supervisor
+# ---------------------------------------------------------------------------
 
 
 def run_tasks(
-    tasks: Iterable[Callable[[], T]], n_jobs: int | None = None
+    tasks: Iterable[Callable[[], T]],
+    n_jobs: int | None = None,
+    *,
+    policy: TaskPolicy | None = None,
+    checkpoint_tag: str | None = None,
 ) -> list[T]:
     """Run zero-argument callables, returning their results in task order.
 
-    Tasks must be pure functions of pre-pool state (see the module docstring);
-    under that contract the returned list is bit-identical for every worker
-    count.  An exception raised by any task propagates to the caller.
+    Tasks must be pure functions of pre-pool state (see the module
+    docstring); under that contract the returned list is bit-identical for
+    every worker count *and* every recovery path (retry, worker rebuild,
+    journal resume).  ``policy`` configures timeout/retries/checkpointing —
+    the default policy fails fast with no retries, like the task itself
+    raising.  Tasks that exhaust their retry budget raise a
+    :class:`TaskQuarantineError` (a ``RuntimeError`` whose message embeds the
+    original tracebacks) after the rest of the run has completed; use
+    :func:`supervise_tasks` to get the partial results instead.
+    """
+    report = supervise_tasks(
+        tasks, n_jobs, policy=policy, checkpoint_tag=checkpoint_tag
+    )
+    if report.failures:
+        raise TaskQuarantineError(report.failures)
+    return report.results
+
+
+def supervise_tasks(
+    tasks: Iterable[Callable[[], T]],
+    n_jobs: int | None = None,
+    *,
+    policy: TaskPolicy | None = None,
+    checkpoint_tag: str | None = None,
+) -> TaskRunReport:
+    """Like :func:`run_tasks`, but report failures instead of raising.
+
+    Completed results are kept (and journaled, when checkpointing) even when
+    other tasks are quarantined, so a fixed-up rerun against the same journal
+    only executes what is missing.  ``checkpoint_tag`` fingerprints the run
+    shape inside the journal; resuming with a different tag is rejected.
     """
     tasks = list(tasks)
+    if policy is None:
+        policy = TaskPolicy()
     jobs = min(resolve_n_jobs(n_jobs), len(tasks))
-    if jobs <= 1 or not parallelism_available():
-        global _WARNED_SERIAL_FALLBACK
-        if (
-            jobs > 1
-            and not multiprocessing.current_process().daemon
-            and not _WARNED_SERIAL_FALLBACK
-        ):
+
+    journal = None
+    results: dict[int, object] = {}
+    if policy.checkpoint_dir is not None:
+        journal = TaskJournal(
+            policy.checkpoint_dir, num_tasks=len(tasks), tag=checkpoint_tag
+        )
+        results = journal.completed()
+    replayed = len(results)
+    pending = [index for index in range(len(tasks)) if index not in results]
+
+    if jobs > 1 and pending and not parallelism_available():
+        if not multiprocessing.current_process().daemon:
             # An explicit parallel request cannot be honored on this platform
-            # (no fork start method); say so once instead of silently timing
-            # a "parallel" run on one core.
-            _WARNED_SERIAL_FALLBACK = True
+            # (no fork start method); say so instead of silently timing a
+            # "parallel" run on one core.  Deduplication is the warnings
+            # registry's job — reset it with warnings.simplefilter("always")
+            # or catch_warnings() to re-arm.
             warnings.warn(
                 f"n_jobs={jobs} requested but process-pool parallelism is "
                 "unavailable on this platform (no 'fork' start method); "
                 "running serially with identical results",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
-        return [task() for task in tasks]
+        jobs = 1
 
-    global _TASKS
-    previous = _TASKS
-    _TASKS = tasks
+    if jobs <= 1 or not pending:
+        failures = _run_serial(tasks, pending, policy, results, journal)
+    else:
+        failures = _run_supervised(tasks, pending, jobs, policy, results, journal)
+
+    return TaskRunReport(
+        results=[results.get(index) for index in range(len(tasks))],
+        failures=failures,
+        replayed=replayed,
+        n_jobs=max(jobs, 1),
+    )
+
+
+def _record(results, journal, index, value) -> None:
+    results[index] = value
+    if journal is not None:
+        journal.record(index, value)
+
+
+def _run_serial(tasks, pending, policy, results, journal) -> list[TaskFailure]:
+    """In-process execution with the same retry/quarantine semantics.
+
+    Per-task timeouts are not enforced here: there is no worker process to
+    kill, and interrupting the supervisor's own thread mid-task cannot be
+    done safely (documented on :class:`TaskPolicy`).
+    """
+    failures: list[TaskFailure] = []
+    for index in pending:
+        attempts: list[TaskAttempt] = []
+        while True:
+            try:
+                value = tasks[index]()
+            except Exception:
+                attempts.append(
+                    TaskAttempt(
+                        number=len(attempts) + 1,
+                        kind="exception",
+                        detail=traceback.format_exc(),
+                    )
+                )
+                if len(attempts) >= policy.attempts_allowed:
+                    failures.append(TaskFailure(index=index, attempts=attempts))
+                    break
+                delay = policy.retry_delay(len(attempts))
+                if delay:
+                    time.sleep(delay)
+            else:
+                _record(results, journal, index, value)
+                break
+    return failures
+
+
+def _run_supervised(
+    tasks, pending, jobs, policy, results, journal
+) -> list[TaskFailure]:
+    """The supervised pool: dispatch, watch, retry, rebuild, quarantine."""
+    context = multiprocessing.get_context("fork")
+    with _TOKEN_LOCK:
+        token = next(_TOKEN_COUNTER)
+    # Publish before forking: every worker resolves its tasks from this entry.
+    _TASK_GROUPS[token] = tasks
+
+    attempts: dict[int, list[TaskAttempt]] = {index: [] for index in pending}
+    failures: dict[int, TaskFailure] = {}
+    ready: deque[int] = deque(pending)
+    backoff_heap: list[tuple[float, int]] = []  # (ready_time, task index)
+    workers: list[_WorkerHandle] = []
+    unfinished = len(pending)
+
+    def record_attempt(index: int, kind: str, detail: str) -> bool:
+        """Log one failed attempt; True while the task has retries left."""
+        log = attempts[index]
+        log.append(TaskAttempt(number=len(log) + 1, kind=kind, detail=detail))
+        if len(log) >= policy.attempts_allowed:
+            failures[index] = TaskFailure(index=index, attempts=log)
+            return False
+        return True
+
+    def schedule_retry(index: int) -> None:
+        delay = policy.retry_delay(len(attempts[index]))
+        heapq.heappush(backoff_heap, (time.monotonic() + delay, index))
+
     try:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=jobs) as pool:
-            return pool.map(_run_task, range(len(tasks)))
+        workers.extend(_WorkerHandle(context, token) for _ in range(jobs))
+        while unfinished:
+            now = time.monotonic()
+            while backoff_heap and backoff_heap[0][0] <= now:
+                ready.append(heapq.heappop(backoff_heap)[1])
+
+            for slot, worker in enumerate(workers):
+                if not ready:
+                    break
+                if worker.busy:
+                    continue
+                if not worker.process.is_alive():
+                    # An idle worker died (collateral of a host-wide signal):
+                    # rebuild the slot before handing it work.
+                    worker.kill()
+                    worker = workers[slot] = _WorkerHandle(context, token)
+                worker.dispatch(ready.popleft(), policy.timeout)
+
+            busy = [worker for worker in workers if worker.busy]
+            if not busy:
+                if ready:
+                    continue
+                if backoff_heap:
+                    time.sleep(
+                        max(
+                            0.0,
+                            min(
+                                _SUPERVISOR_TICK,
+                                backoff_heap[0][0] - time.monotonic(),
+                            ),
+                        )
+                    )
+                    continue
+                break  # defensive: every unfinished task must be terminal
+
+            _wait_for_event(busy, backoff_heap)
+
+            for slot, worker in enumerate(workers):
+                index = worker.task_index
+                if index is None:
+                    continue
+                if not worker.outbox.empty():
+                    got, ok, payload = worker.outbox.get()
+                    worker.finish()
+                    if ok:
+                        _record(results, journal, got, payload)
+                        unfinished -= 1
+                    elif record_attempt(got, "exception", payload):
+                        schedule_retry(got)
+                    else:
+                        unfinished -= 1
+                elif not worker.process.is_alive():
+                    exitcode = worker.process.exitcode
+                    worker.kill()
+                    workers[slot] = _WorkerHandle(context, token)
+                    detail = (
+                        "worker process died while running the task "
+                        f"(exitcode {exitcode}, e.g. SIGKILL/OOM); "
+                        "pool slot rebuilt"
+                    )
+                    if record_attempt(index, "worker-death", detail):
+                        # Re-execute the orphan in-process: a vanished worker
+                        # may mean any forked worker is doomed, so the
+                        # recovery attempt runs where code is known to run.
+                        try:
+                            value = tasks[index]()
+                        except Exception:
+                            if record_attempt(
+                                index, "exception", traceback.format_exc()
+                            ):
+                                schedule_retry(index)
+                            else:
+                                unfinished -= 1
+                        else:
+                            _record(results, journal, index, value)
+                            unfinished -= 1
+                    else:
+                        unfinished -= 1
+                elif worker.timed_out(time.monotonic()):
+                    worker.kill()
+                    workers[slot] = _WorkerHandle(context, token)
+                    detail = (
+                        f"attempt exceeded the {policy.timeout:g}s task "
+                        "timeout; worker killed and pool slot rebuilt"
+                    )
+                    if record_attempt(index, "timeout", detail):
+                        schedule_retry(index)
+                    else:
+                        unfinished -= 1
     finally:
-        _TASKS = previous
+        for worker in workers:
+            worker.shutdown()
+        _TASK_GROUPS.pop(token, None)
+
+    return [failures[index] for index in sorted(failures)]
+
+
+def _wait_for_event(busy, backoff_heap) -> None:
+    """Block until a result arrives, a worker dies, or a deadline nears."""
+    now = time.monotonic()
+    timeout = _SUPERVISOR_TICK
+    deadlines = [worker.deadline for worker in busy if worker.deadline is not None]
+    if deadlines:
+        timeout = min(timeout, max(0.0, min(deadlines) - now))
+    if backoff_heap:
+        timeout = min(timeout, max(0.0, backoff_heap[0][0] - now))
+    waitables = []
+    for worker in busy:
+        reader = getattr(worker.outbox, "_reader", None)
+        if reader is not None:
+            waitables.append(reader)
+        waitables.append(worker.process.sentinel)
+    if not waitables:  # pragma: no cover - SimpleQueue always has a reader
+        time.sleep(timeout)
+        return
+    try:
+        multiprocessing.connection.wait(waitables, timeout=timeout)
+    except OSError:  # pragma: no cover - raced a dying worker's fds
+        time.sleep(min(timeout, _SUPERVISOR_TICK))

@@ -23,7 +23,7 @@ from repro.core.model import GraphHDClassifier
 from repro.eval.cross_validation import supports_encoding_cache
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.metrics import accuracy_score
-from repro.eval.parallel import run_tasks
+from repro.eval.parallel import TaskPolicy, run_tasks
 from repro.graphs.graph import Graph
 
 
@@ -106,6 +106,7 @@ def graphhd_robustness_curve(
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
     mmap_mode: str | None = None,
+    task_policy: TaskPolicy | None = None,
 ) -> RobustnessCurve:
     """Measure GraphHD accuracy while corrupting its class hypervectors.
 
@@ -134,6 +135,13 @@ def graphhd_robustness_curve(
         ``"r"`` serves store entries as read-only memory-mapped views;
         corruption only mutates the trained class vectors, never the
         encodings, so the curve is unchanged.  Ignored without a store.
+    task_policy:
+        Fault-tolerance policy for the (fraction, draw) tasks
+        (:class:`~repro.eval.parallel.TaskPolicy`): per-draw timeout, bounded
+        retries, and an optional checkpoint journal so an interrupted curve
+        resumes executing only its missing draws.  Each draw's corruption
+        RNG derives from the up-front seed plan, so retried and resumed
+        curves stay bit-identical to a clean serial run.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
@@ -156,7 +164,8 @@ def graphhd_robustness_curve(
     # corruption RNG) and the curve does not depend on worker count or
     # scheduling order.
     draws_per_fraction = [1 if fraction == 0.0 else repetitions for fraction in fractions]
-    children = np.random.SeedSequence(seed).spawn(int(sum(draws_per_fraction)))
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(int(sum(draws_per_fraction)))
 
     def run_draw(fraction: float, child: np.random.SeedSequence) -> float:
         model = model_factory()
@@ -176,7 +185,18 @@ def graphhd_robustness_curve(
     for fraction, draws in zip(fractions, draws_per_fraction):
         for _ in range(draws):
             tasks.append(partial(run_draw, fraction, next(child_iter)))
-    accuracies = run_tasks(tasks, n_jobs=n_jobs)
+    accuracies = run_tasks(
+        tasks,
+        n_jobs=n_jobs,
+        policy=task_policy,
+        checkpoint_tag=(
+            f"robustness:fractions={','.join(str(f) for f in fractions)}"
+            # root.entropy (not ``seed``) so a seedless run cannot resume
+            # into a journal written under a different random seed plan.
+            f":reps={repetitions}:seed={root.entropy}"
+            f":train={len(train_graphs)}:test={len(test_graphs)}"
+        ),
+    )
 
     cursor = 0
     for fraction, draws in zip(fractions, draws_per_fraction):

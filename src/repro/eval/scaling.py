@@ -21,7 +21,7 @@ from repro.eval.cross_validation import supports_encoding_cache
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.eval.metrics import accuracy_score
 from repro.eval.methods import make_method
-from repro.eval.parallel import run_tasks
+from repro.eval.parallel import TaskPolicy, run_tasks
 
 
 @dataclass
@@ -57,6 +57,7 @@ def scaling_experiment(
     n_jobs: int | None = None,
     encoding_store: EncodingStore | None = None,
     mmap_mode: str | None = None,
+    task_policy: TaskPolicy | None = None,
 ) -> list[ScalingPoint]:
     """Run the Figure 4 sweep and return one :class:`ScalingPoint` per size.
 
@@ -94,6 +95,11 @@ def scaling_experiment(
         ``"r"`` serves store entries as read-only memory-mapped views (the
         fit/predict paths only read the encodings, so results are
         unchanged); ignored without a store.
+    task_policy:
+        Fault-tolerance policy for the sweep-point tasks
+        (:class:`~repro.eval.parallel.TaskPolicy`): per-point timeout,
+        bounded retries, and an optional checkpoint journal so an
+        interrupted sweep resumes executing only its missing sizes.
     """
 
     def run_point(num_vertices: int) -> ScalingPoint:
@@ -145,4 +151,11 @@ def scaling_experiment(
     return run_tasks(
         [partial(run_point, num_vertices) for num_vertices in graph_sizes],
         n_jobs=n_jobs,
+        policy=task_policy,
+        checkpoint_tag=(
+            f"scaling:sizes={','.join(str(size) for size in graph_sizes)}"
+            f":methods={','.join(methods)}:graphs={num_graphs}"
+            f":p={edge_probability}:seed={seed}:dim={dimension}"
+            f":backend={backend}:fast={fast}"
+        ),
     )

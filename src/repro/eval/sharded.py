@@ -38,11 +38,42 @@ from typing import Callable, Hashable, Sequence
 import numpy as np
 
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
-from repro.eval.parallel import resolve_n_jobs, run_tasks
+from repro.eval.parallel import (
+    TaskPolicy,
+    TaskQuarantineError,
+    resolve_n_jobs,
+    supervise_tasks,
+)
 from repro.graphs.graph import Graph
 from repro.hdc.training_state import TrainingState, merge_states
 
-__all__ = ["ShardedFitResult", "fit_shard", "fit_sharded", "shard_indices"]
+__all__ = [
+    "ShardFitError",
+    "ShardedFitResult",
+    "fit_shard",
+    "fit_sharded",
+    "shard_indices",
+]
+
+
+class ShardFitError(RuntimeError):
+    """A shard's training task failed; names the partition to inspect.
+
+    Raised inside the shard task (so it crosses the worker boundary inside
+    the supervised runtime's failure report) wrapping the original error as
+    its ``__cause__``.
+    """
+
+    def __init__(
+        self, shard_index: int, num_shards: int, shard_size: int, message: str
+    ):
+        super().__init__(
+            f"training shard {shard_index} of {num_shards} "
+            f"({shard_size} graphs) failed: {message}"
+        )
+        self.shard_index = shard_index
+        self.num_shards = num_shards
+        self.shard_size = shard_size
 
 
 def shard_indices(num_samples: int, n_shards: int) -> list[np.ndarray]:
@@ -118,6 +149,9 @@ class ShardedFitResult:
     from_store:
         Whether the encodings came from the persistent store (None when no
         store was passed and every shard encoded its own graphs).
+    shards_replayed:
+        Shard states replayed from the checkpoint journal instead of
+        trained (0 without a ``task_policy`` checkpoint).
     """
 
     model: object
@@ -126,6 +160,7 @@ class ShardedFitResult:
     shard_sizes: list[int] = field(default_factory=list)
     n_jobs: int = 1
     from_store: bool | None = None
+    shards_replayed: int = 0
 
 
 def fit_sharded(
@@ -138,6 +173,7 @@ def fit_sharded(
     encoding_store: EncodingStore | None = None,
     mmap_mode: str | None = None,
     fingerprint: str | None = None,
+    task_policy: TaskPolicy | None = None,
 ) -> ShardedFitResult:
     """Map-reduce fit: shard the training set, train in parallel, merge.
 
@@ -156,6 +192,14 @@ def fit_sharded(
     workers) and the shard tasks only accumulate.  Without a store, each
     shard task encodes its own graphs — that is where the parallel speedup
     lives for cold encodings.
+
+    ``task_policy`` supervises the shard tasks: per-shard timeout, bounded
+    retries, and — with a ``checkpoint_dir`` — a crash-safe journal of
+    completed shard states, so an interrupted (or quarantined) run resumes
+    by replaying the journaled states and training only the missing shards
+    before merging (``ShardedFitResult.shards_replayed`` counts the replays).
+    A shard that still fails surfaces as a :class:`ShardFitError` naming the
+    shard index and size inside the structured failure report.
     """
     graphs = list(graphs)
     labels = list(labels)
@@ -177,21 +221,35 @@ def fit_sharded(
             fingerprint=fingerprint,
             mmap_mode=mmap_mode,
         )
-        tasks = [
-            lambda block=block: model_factory().fit_state_encoded(
+
+        def make_fit(block):
+            return lambda: model_factory().fit_state_encoded(
                 encodings[block], [labels[i] for i in block]
             )
-            for block in shards
-        ]
+
     else:
-        tasks = [
-            lambda block=block: model_factory().fit_state(
+
+        def make_fit(block):
+            return lambda: model_factory().fit_state(
                 [graphs[i] for i in block], [labels[i] for i in block]
             )
-            for block in shards
-        ]
 
-    states = run_tasks(tasks, n_jobs)
+    tasks = [
+        _shard_task(make_fit(block), shard_number, len(shards), int(block.size))
+        for shard_number, block in enumerate(shards)
+    ]
+
+    report = supervise_tasks(
+        tasks,
+        n_jobs,
+        policy=task_policy,
+        checkpoint_tag=(
+            f"fit_sharded:shards={len(shards)}:samples={len(graphs)}"
+        ),
+    )
+    if report.failures:
+        raise TaskQuarantineError(report.failures)
+    states = report.results
     merged = merge_states(states)
     model.fit_from_state(merged)
     return ShardedFitResult(
@@ -201,4 +259,22 @@ def fit_sharded(
         shard_sizes=[int(block.size) for block in shards],
         n_jobs=resolve_n_jobs(n_jobs),
         from_store=from_store,
+        shards_replayed=report.replayed,
     )
+
+
+def _shard_task(fit, shard_index: int, num_shards: int, shard_size: int):
+    """Wrap one shard's fit so failures carry the partition's identity."""
+
+    def task():
+        try:
+            return fit()
+        except Exception as exc:
+            raise ShardFitError(
+                shard_index,
+                num_shards,
+                shard_size,
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+
+    return task

@@ -11,6 +11,8 @@ import itertools
 import json
 import multiprocessing
 import os
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -18,11 +20,18 @@ import pytest
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
 from repro.datasets.dataset import GraphDataset, graphs_fingerprint
+from repro.eval import faults
 from repro.eval.cross_validation import cross_validate
 from repro.eval.encoding_store import EncodingStore, dataset_encodings
 from repro.graphs.graph import Graph
 
 DIMENSION = 256
+
+
+def backdate(path, seconds=3600.0):
+    """Age a file past the temp-sweep grace period."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
 
 
 def make_model(**overrides):
@@ -244,8 +253,10 @@ class TestRecoveryAndMaintenance:
     def test_clear_counts_temp_files_separately(self, store, two_class_dataset):
         dataset_encodings(make_model(), two_class_dataset.graphs, store)
         for name in (".tmp-abc.npz", ".tmp-def.npy"):
-            with open(os.path.join(store.path, name), "wb") as handle:
+            path = os.path.join(store.path, name)
+            with open(path, "wb") as handle:
                 handle.write(b"leftover")
+            backdate(path)  # crash wreckage, not an in-flight write
         # Temp leftovers are invisible to entries() and must not inflate the
         # entries_removed count either (the pre-fix behaviour).
         assert len(store) == 1
@@ -258,13 +269,43 @@ class TestRecoveryAndMaintenance:
         dataset_encodings(make_model(), two_class_dataset.graphs, store)
         # The crash window of the sidecar-first write ordering: a sidecar
         # whose payload never got published.  It is not an entry, but clear
-        # must still leave an empty directory.
+        # must still leave an empty directory once it has aged out.
         with open(store._sidecar_path("ee" * 32), "w", encoding="utf-8") as handle:
             handle.write("{}")
+        backdate(store._sidecar_path("ee" * 32))
         assert len(store) == 1
         assert store.temp_files() == [f"{'ee' * 32}.json"]
         report = store.clear()
         assert report.entries_removed == 1
+        assert report.temp_files_removed == 1
+        assert os.listdir(store.path) == []
+
+    def test_sweep_spares_fresh_temp_files(self, store, two_class_dataset):
+        """A just-written stray may be a concurrent writer's in-flight temp
+        file; only strays older than the grace period are reclaimed."""
+        dataset_encodings(make_model(), two_class_dataset.graphs, store)
+        fresh = os.path.join(store.path, ".tmp-inflight.npy")
+        with open(fresh, "wb") as handle:
+            handle.write(b"partial")
+        assert store.sweep_temp_files() == 0
+        assert os.path.exists(fresh)
+        # Still listed as a stray (stats stay honest) — just not deleted yet.
+        assert store.temp_files() == [".tmp-inflight.npy"]
+        report = store.clear()
+        assert report.entries_removed == 1
+        assert report.temp_files_removed == 0
+        assert os.path.exists(fresh)
+        # Past the grace period (or with the grace explicitly waived), the
+        # same stray is crash wreckage and goes away.
+        assert store.sweep_temp_files(min_age=0) == 1
+        assert not os.path.exists(fresh)
+
+    def test_clear_can_waive_the_sweep_grace(self, store):
+        fresh = os.path.join(store.path, ".tmp-inflight.npy")
+        os.makedirs(store.path, exist_ok=True)
+        with open(fresh, "wb") as handle:
+            handle.write(b"partial")
+        report = store.clear(sweep_min_age=0)
         assert report.temp_files_removed == 1
         assert os.listdir(store.path) == []
 
@@ -565,3 +606,96 @@ class TestConcurrentWriters:
         assert loaded is not None  # readers only ever see complete entries
         assert np.array_equal(loaded, np.full((64, DIMENSION), 7, dtype=np.int8))
         assert store.entries() == [key]  # no stray temp files promoted
+
+
+def _inflight_writer(path, started, release):
+    """Hold an in-flight temp file open until the parent releases it."""
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, ".tmp-live-writer.npy"), "wb") as handle:
+        handle.write(b"partial")
+        handle.flush()
+        started.set()
+        release.wait(timeout=60)
+
+
+class TestSweepGraceTwoProcesses:
+    def test_sweep_spares_another_writers_inflight_file(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        context = multiprocessing.get_context("fork")
+        path = str(tmp_path / "store")
+        started = context.Event()
+        release = context.Event()
+        worker = context.Process(
+            target=_inflight_writer, args=(path, started, release)
+        )
+        worker.start()
+        try:
+            assert started.wait(timeout=30)
+            store = EncodingStore(path)
+            # The sweeping process cannot tell an in-flight write from crash
+            # wreckage except by age: the fresh file must survive the sweep
+            # (pre-fix, it was deleted out from under the live writer).
+            assert store.temp_files() == [".tmp-live-writer.npy"]
+            assert store.sweep_temp_files() == 0
+            assert os.path.exists(os.path.join(path, ".tmp-live-writer.npy"))
+        finally:
+            release.set()
+        worker.join(timeout=30)
+        assert worker.exitcode == 0
+        # Once the same file has aged past the grace period it is wreckage.
+        backdate(os.path.join(path, ".tmp-live-writer.npy"))
+        assert store.sweep_temp_files() == 1
+        assert store.temp_files() == []
+
+
+def _killed_writer(path, key, dimension):
+    """Save an entry but get SIGKILLed at the payload-publish instant."""
+    store = EncodingStore(path)
+    payload = np.full((16, dimension), 3, dtype=np.int8)
+    with faults.exit_on_replace(".npy"):
+        store.save(key, payload)
+
+
+class TestKilledWriterRecovery:
+    def test_sigkill_mid_save_leaves_store_serving(self, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        context = multiprocessing.get_context("fork")
+        path = str(tmp_path / "store")
+        store = EncodingStore(path)
+        survivor_key = "aa" * 32
+        survivor = np.full((8, DIMENSION), 1, dtype=np.int8)
+        store.save(survivor_key, survivor)
+
+        victim_key = "bb" * 32
+        worker = context.Process(
+            target=_killed_writer, args=(path, victim_key, DIMENSION)
+        )
+        worker.start()
+        worker.join(timeout=60)
+        assert worker.exitcode == -signal.SIGKILL
+
+        # The interrupted entry never appeared; the survivor still serves.
+        assert store.entries() == [survivor_key]
+        assert store.load(victim_key) is None
+        assert np.array_equal(store.load(survivor_key), survivor)
+
+        # The wreckage is visible in stats: the stranded temp payload plus
+        # the orphan sidecar published before the kill.
+        strays = store.temp_files()
+        assert any(name.startswith(".tmp-") for name in strays)
+        assert f"{victim_key}.json" in strays
+        assert store.stats["temp_files"] == len(strays) == 2
+        # Fresh wreckage is within the sweep grace period and survives...
+        assert store.sweep_temp_files() == 0
+
+        # ...and the store repopulates cleanly right over it.
+        repaired = np.full((16, DIMENSION), 3, dtype=np.int8)
+        store.save(victim_key, repaired)
+        assert np.array_equal(store.load(victim_key), repaired)
+        assert store.entries() == sorted([survivor_key, victim_key])
+        # Only the stranded temp file remains a stray (the orphan sidecar
+        # became the repaired entry's real sidecar); force-sweep it.
+        assert store.sweep_temp_files(min_age=0) == 1
+        assert store.temp_files() == []

@@ -1,0 +1,432 @@
+"""Fault-tolerance tests for the supervised task runtime.
+
+Every recovery path of :mod:`repro.eval.parallel` is exercised with the
+deterministic injectors from :mod:`repro.eval.faults`, and each recovery is
+checked against the headline guarantee: a retried, re-executed, or
+journal-resumed run returns exactly what a clean serial run would have.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.eval import faults
+from repro.eval.checkpoint import JournalMismatchError, TaskJournal
+from repro.eval.comparison import compare_methods
+from repro.eval.cross_validation import cross_validate
+from repro.eval.parallel import (
+    TaskPolicy,
+    TaskQuarantineError,
+    parallelism_available,
+    run_tasks,
+    supervise_tasks,
+)
+from repro.eval.sharded import ShardFitError, fit_sharded
+
+DIMENSION = 256
+
+needs_pool = pytest.mark.skipif(
+    not parallelism_available(),
+    reason="process-pool parallelism unavailable on this platform",
+)
+
+
+def make_factory():
+    return lambda: GraphHDClassifier(GraphHDConfig(dimension=DIMENSION, seed=0))
+
+
+def squares(n=6):
+    """A deterministic task list with distinguishable results."""
+    return [lambda index=index: index * index for index in range(n)]
+
+
+class TestTaskPolicy:
+    def test_rejects_invalid_knobs(self):
+        with pytest.raises(ValueError, match="timeout"):
+            TaskPolicy(timeout=0)
+        with pytest.raises(ValueError, match="retries"):
+            TaskPolicy(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            TaskPolicy(backoff=-0.1)
+
+    def test_attempts_and_backoff_schedule(self):
+        policy = TaskPolicy(retries=3, backoff=0.1)
+        assert policy.attempts_allowed == 4
+        assert policy.retry_delay(1) == pytest.approx(0.1)
+        assert policy.retry_delay(2) == pytest.approx(0.2)
+        assert policy.retry_delay(3) == pytest.approx(0.4)
+
+    def test_scoped_nests_the_checkpoint_dir(self, tmp_path):
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "run")
+        scoped = policy.scoped("cells", "MUTAG-GraphHD")
+        assert os.fspath(scoped.checkpoint_dir) == os.path.join(
+            os.fspath(tmp_path / "run"), "cells", "MUTAG-GraphHD"
+        )
+        # Without a checkpoint there is nothing to scope.
+        assert TaskPolicy().scoped("cells") == TaskPolicy()
+
+
+class TestTransientRetries:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_flaky_task_recovers_bit_identically(self, tmp_path, n_jobs):
+        if n_jobs > 1 and not parallelism_available():
+            pytest.skip("no process-pool parallelism")
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares()
+        tasks[2] = faults.fail_first_calls(tasks[2], state, 2)
+        clean = [task() for task in squares()]
+        results = run_tasks(
+            tasks, n_jobs=n_jobs, policy=TaskPolicy(retries=2, backoff=0.0)
+        )
+        assert results == clean
+        assert state.calls() == 3  # two doomed attempts plus the success
+
+    def test_no_retries_by_default(self, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares(3)
+        tasks[1] = faults.fail_first_calls(tasks[1], state, 1)
+        with pytest.raises(TaskQuarantineError):
+            run_tasks(tasks, n_jobs=1)
+        assert state.calls() == 1
+
+
+class TestQuarantine:
+    def test_poison_task_reports_structured_attempts(self):
+        def poison():
+            raise ValueError("deliberately poisonous")
+
+        tasks = squares(4)
+        tasks[1] = poison
+        with pytest.raises(TaskQuarantineError) as excinfo:
+            run_tasks(tasks, n_jobs=1, policy=TaskPolicy(retries=1, backoff=0.0))
+        error = excinfo.value
+        # The original exception text survives into the message (so existing
+        # RuntimeError matchers keep working) and into the structured report.
+        assert "deliberately poisonous" in str(error)
+        (failure,) = error.failures
+        assert failure.index == 1
+        assert [attempt.number for attempt in failure.attempts] == [1, 2]
+        assert {attempt.kind for attempt in failure.attempts} == {"exception"}
+        assert all(
+            "deliberately poisonous" in attempt.detail
+            for attempt in failure.attempts
+        )
+
+    def test_supervise_tasks_keeps_partial_results(self):
+        def poison():
+            raise ValueError("boom")
+
+        tasks = squares(4)
+        tasks[2] = poison
+        report = supervise_tasks(tasks, n_jobs=1)
+        assert report.results == [0, 1, None, 9]
+        assert report.failed_indices == [2]
+        assert report.replayed == 0
+
+    @needs_pool
+    def test_quarantine_does_not_poison_the_rest_of_the_run(self):
+        def poison():
+            raise ValueError("boom")
+
+        tasks = squares(6)
+        tasks[0] = poison
+        report = supervise_tasks(tasks, n_jobs=2)
+        assert report.results == [None, 1, 4, 9, 16, 25]
+        assert report.failed_indices == [0]
+
+
+@needs_pool
+class TestTimeoutRecovery:
+    def test_hanging_attempt_is_killed_and_retried(self, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares(3)
+        tasks[1] = faults.hang_first_calls(tasks[1], state, 1, seconds=120.0)
+        results = run_tasks(
+            tasks,
+            n_jobs=2,
+            policy=TaskPolicy(timeout=0.5, retries=1, backoff=0.0),
+        )
+        assert results == [0, 1, 4]
+
+    def test_timeout_without_retries_quarantines(self, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares(2)
+        tasks[0] = faults.hang_first_calls(tasks[0], state, 1, seconds=120.0)
+        report = supervise_tasks(
+            tasks, n_jobs=2, policy=TaskPolicy(timeout=0.5)
+        )
+        assert report.results == [None, 1]
+        (failure,) = report.failures
+        assert failure.index == 0
+        assert failure.attempts[0].kind == "timeout"
+        assert "0.5s task timeout" in failure.attempts[0].detail
+
+
+@needs_pool
+class TestWorkerDeathRecovery:
+    def test_sigkilled_worker_is_rebuilt_and_task_reexecuted(self, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares(4)
+        tasks[1] = faults.kill_first_calls(tasks[1], state, 1)
+        results = run_tasks(
+            tasks, n_jobs=2, policy=TaskPolicy(retries=1, backoff=0.0)
+        )
+        assert results == [0, 1, 4, 9]
+        assert state.calls() == 2  # the doomed worker call plus the recovery
+
+    def test_worker_death_without_retries_quarantines(self, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        tasks = squares(2)
+        tasks[0] = faults.kill_first_calls(tasks[0], state, 1)
+        report = supervise_tasks(tasks, n_jobs=2)
+        assert report.results == [None, 1]
+        (failure,) = report.failures
+        assert failure.index == 0
+        assert failure.attempts[0].kind == "worker-death"
+        assert f"exitcode {-signal.SIGKILL}" in failure.attempts[0].detail
+
+
+class TestTaskJournal:
+    def test_record_and_replay_roundtrip(self, tmp_path):
+        journal = TaskJournal(tmp_path / "journal", num_tasks=3, tag="t")
+        journal.record(0, {"accuracy": 0.5})
+        journal.record(2, np.arange(4))
+        replayed = journal.completed()
+        assert sorted(replayed) == [0, 2]
+        assert replayed[0] == {"accuracy": 0.5}
+        assert np.array_equal(replayed[2], np.arange(4))
+        assert journal.completed_indices() == [0, 2]
+
+    def test_mismatched_run_shape_is_rejected(self, tmp_path):
+        TaskJournal(tmp_path / "journal", num_tasks=3, tag="run-a")
+        with pytest.raises(JournalMismatchError, match="num_tasks"):
+            TaskJournal(tmp_path / "journal", num_tasks=4, tag="run-a")
+        with pytest.raises(JournalMismatchError, match="tag"):
+            TaskJournal(tmp_path / "journal", num_tasks=3, tag="run-b")
+
+    def test_corrupt_result_file_reruns_its_task(self, tmp_path):
+        journal = TaskJournal(tmp_path / "journal", num_tasks=2)
+        journal.record(0, "fine")
+        journal.record(1, "doomed")
+        faults.truncate_file(journal.result_path(1), keep_fraction=0.3)
+        replayed = journal.completed()
+        assert replayed == {0: "fine"}
+        # The torn file was removed, so the task is simply pending again.
+        assert not os.path.exists(journal.result_path(1))
+
+    def test_clear_removes_results_and_meta(self, tmp_path):
+        journal = TaskJournal(tmp_path / "journal", num_tasks=2, tag="x")
+        journal.record(0, 1)
+        journal.record(1, 2)
+        assert journal.clear() == 2
+        # A differently-shaped run can now claim the directory.
+        TaskJournal(tmp_path / "journal", num_tasks=5, tag="y")
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_without_recomputation(self, tmp_path):
+        executions = []
+
+        def make_task(index):
+            def task():
+                executions.append(index)
+                return index * index
+
+            return task
+
+        tasks = [make_task(index) for index in range(5)]
+        tasks[3] = faults.fail_first_calls(
+            tasks[3], faults.FaultState(tmp_path / "faults"), 1
+        )
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "journal")
+        first = supervise_tasks(tasks, n_jobs=1, policy=policy, checkpoint_tag="run")
+        assert first.results == [0, 1, 4, None, 16]
+        assert first.replayed == 0
+
+        # The retry run replays the journal and executes only the failure.
+        executed_before = list(executions)
+        second = supervise_tasks(tasks, n_jobs=1, policy=policy, checkpoint_tag="run")
+        assert second.results == [0, 1, 4, 9, 16]
+        assert second.failures == []
+        assert second.replayed == 4
+        assert executions == executed_before + [3]
+
+    def test_resume_with_a_different_tag_is_rejected(self, tmp_path):
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "journal")
+        run_tasks(squares(3), n_jobs=1, policy=policy, checkpoint_tag="shape-a")
+        with pytest.raises(JournalMismatchError, match="tag"):
+            run_tasks(squares(3), n_jobs=1, policy=policy, checkpoint_tag="shape-b")
+
+    @needs_pool
+    def test_parallel_resume_matches_clean_serial_run(self, tmp_path):
+        clean = [task() for task in squares(8)]
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "journal")
+        partial = TaskJournal(
+            policy.checkpoint_dir, num_tasks=8, tag="squares"
+        )
+        for index in (0, 3, 5):  # as if a crash interrupted an earlier run
+            partial.record(index, clean[index])
+        report = supervise_tasks(
+            squares(8), n_jobs=2, policy=policy, checkpoint_tag="squares"
+        )
+        assert report.results == clean
+        assert report.replayed == 3
+
+
+class TestHarnessIntegration:
+    """The injectors driven through the real evaluation harnesses."""
+
+    @needs_pool
+    def test_cross_validate_survives_a_worker_kill(self, two_class_dataset, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        base_factory = make_factory()
+
+        def doomed_factory():
+            model = base_factory()
+            real_fit = model.fit_encoded
+
+            def killed_fit(encodings, labels):
+                if state.next_call() <= 1:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return real_fit(encodings, labels)
+
+            model.fit_encoded = killed_fit
+            return model
+
+        clean = cross_validate(
+            base_factory,
+            two_class_dataset,
+            n_splits=3,
+            repetitions=1,
+            seed=5,
+            n_jobs=1,
+        )
+        survived = cross_validate(
+            doomed_factory,
+            two_class_dataset,
+            n_splits=3,
+            repetitions=1,
+            seed=5,
+            n_jobs=2,
+            task_policy=TaskPolicy(retries=1, backoff=0.0),
+        )
+        assert state.calls() >= 1  # the kill really fired somewhere
+        assert [fold.accuracy for fold in survived.folds] == [
+            fold.accuracy for fold in clean.folds
+        ]
+        assert [fold.test_indices for fold in survived.folds] == [
+            fold.test_indices for fold in clean.folds
+        ]
+
+    def test_compare_methods_scopes_one_journal_per_cell(
+        self, two_class_dataset, tmp_path
+    ):
+        kwargs = dict(
+            methods=("GraphHD",),
+            fast=True,
+            n_splits=3,
+            repetitions=1,
+            seed=0,
+            dimension=DIMENSION,
+        )
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "journal")
+        first = compare_methods(
+            [two_class_dataset], n_jobs=1, task_policy=policy, **kwargs
+        )
+        # The serial grid journals each cell's folds under cells/<slug>.
+        cells = tmp_path / "journal" / "cells"
+        assert cells.is_dir() and any(cells.iterdir())
+        second = compare_methods(
+            [two_class_dataset], n_jobs=1, task_policy=policy, **kwargs
+        )
+        assert first.accuracy_table() == second.accuracy_table()
+        key = (two_class_dataset.name, "GraphHD")
+        assert [fold.accuracy for fold in first.results[key].folds] == [
+            fold.accuracy for fold in second.results[key].folds
+        ]
+
+    def test_poison_shard_names_its_partition(self, two_class_dataset, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        base_factory = make_factory()
+
+        def flaky_factory():
+            model = base_factory()
+            real_fit_state = model.fit_state
+
+            def flaky(fit_graphs, fit_labels):
+                if state.next_call() <= 1:
+                    raise RuntimeError("injected shard failure")
+                return real_fit_state(fit_graphs, fit_labels)
+
+            model.fit_state = flaky
+            return model
+
+        with pytest.raises(TaskQuarantineError) as excinfo:
+            fit_sharded(flaky_factory, graphs, labels, n_shards=3, n_jobs=1)
+        message = str(excinfo.value)
+        assert "training shard 0 of 3 (10 graphs) failed" in message
+        assert "injected shard failure" in message
+
+        # With a retry budget the same fault is absorbed and the result is
+        # bit-identical to single-shot fit.
+        state.reset()
+        recovered = fit_sharded(
+            flaky_factory,
+            graphs,
+            labels,
+            n_shards=3,
+            n_jobs=1,
+            task_policy=TaskPolicy(retries=1, backoff=0.0),
+        )
+        single = base_factory().fit(graphs, labels)
+        assert recovered.model.predict(graphs) == single.predict(graphs)
+
+    def test_fit_sharded_resumes_journaled_shards(self, two_class_dataset, tmp_path):
+        state = faults.FaultState(tmp_path / "faults")
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        base_factory = make_factory()
+
+        def flaky_factory():
+            model = base_factory()
+            real_fit_state = model.fit_state
+
+            def flaky(fit_graphs, fit_labels):
+                if state.next_call() <= 1:
+                    raise RuntimeError("injected shard failure")
+                return real_fit_state(fit_graphs, fit_labels)
+
+            model.fit_state = flaky
+            return model
+
+        policy = TaskPolicy(checkpoint_dir=tmp_path / "journal")
+        with pytest.raises(TaskQuarantineError):
+            fit_sharded(
+                flaky_factory,
+                graphs,
+                labels,
+                n_shards=3,
+                n_jobs=1,
+                task_policy=policy,
+            )
+        # Shards 1 and 2 trained (calls 2 and 3) and were journaled.
+        assert state.calls() == 3
+
+        resumed = fit_sharded(
+            flaky_factory,
+            graphs,
+            labels,
+            n_shards=3,
+            n_jobs=1,
+            task_policy=policy,
+        )
+        assert resumed.shards_replayed == 2
+        # Exactly one extra fit call: only the failed shard was retrained.
+        assert state.calls() == 4
+        single = base_factory().fit(graphs, labels)
+        assert resumed.model.predict(graphs) == single.predict(graphs)

@@ -10,6 +10,8 @@ parallelism can never silently change reported numbers.
 """
 
 import os
+import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -78,6 +80,45 @@ class TestRunTasks:
 
     def test_empty_task_list(self):
         assert run_tasks([], n_jobs=4) == []
+
+    def test_serial_fallback_warns_every_run(self, monkeypatch):
+        # The old implementation latched a module global after the first
+        # warning, so a second degraded run was silent even when the caller
+        # re-armed the filters.  The warning now goes through the standard
+        # warnings registry: simplefilter("always") must re-fire it.
+        monkeypatch.setattr(
+            "repro.eval.parallel.parallelism_available", lambda: False
+        )
+        tasks = [lambda: 1, lambda: 2]
+        for _ in range(2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("always")
+                with pytest.warns(RuntimeWarning, match="running serially"):
+                    assert run_tasks(tasks, n_jobs=2) == [1, 2]
+
+    def test_reentrant_from_concurrent_threads(self):
+        if not parallelism_available():
+            pytest.skip("no fork start method on this platform")
+        # Two threads running their own pools concurrently must not clobber
+        # each other's task handoff (the old single _TASKS global did).
+        outputs = {}
+
+        def drive(name, offset):
+            outputs[name] = run_tasks(
+                [lambda value=value: value * value for value in range(offset, offset + 6)],
+                n_jobs=2,
+            )
+
+        threads = [
+            threading.Thread(target=drive, args=("a", 0)),
+            threading.Thread(target=drive, args=("b", 100)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert outputs["a"] == [value * value for value in range(6)]
+        assert outputs["b"] == [value * value for value in range(100, 106)]
 
 
 class TestResolveNJobs:

@@ -6,7 +6,14 @@ import pytest
 from repro.core.encoding import GraphHDConfig
 from repro.core.model import GraphHDClassifier
 from repro.eval.encoding_store import EncodingStore
-from repro.eval.sharded import ShardedFitResult, fit_shard, fit_sharded, shard_indices
+from repro.eval.sharded import (
+    ShardedFitResult,
+    ShardFitError,
+    _shard_task,
+    fit_shard,
+    fit_sharded,
+    shard_indices,
+)
 
 DIMENSION = 512
 
@@ -15,6 +22,25 @@ def make_factory(backend="dense"):
     return lambda: GraphHDClassifier(
         GraphHDConfig(dimension=DIMENSION, seed=0, backend=backend)
     )
+
+
+class TestShardFitError:
+    def test_message_names_the_partition(self):
+        error = ShardFitError(2, 5, 7, "ValueError: nope")
+        assert "training shard 2 of 5 (7 graphs) failed: ValueError: nope" in str(error)
+        assert error.shard_index == 2
+        assert error.num_shards == 5
+        assert error.shard_size == 7
+
+    def test_shard_task_wraps_and_chains_the_cause(self):
+        def broken():
+            raise ValueError("inner detail")
+
+        task = _shard_task(broken, 1, 4, 9)
+        with pytest.raises(ShardFitError, match="shard 1 of 4") as excinfo:
+            task()
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "inner detail" in str(excinfo.value)
 
 
 class TestShardIndices:
@@ -62,7 +88,10 @@ class TestFitShard:
 
 
 class TestFitSharded:
-    def test_result_fields(self, two_class_dataset):
+    def test_result_fields(self, two_class_dataset, monkeypatch):
+        # Pin the worker-count resolution: the suite also runs under
+        # REPRO_N_JOBS=2 in CI, which n_jobs=None would otherwise pick up.
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
         graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
         result = fit_sharded(make_factory(), graphs, labels, n_shards=3)
         assert isinstance(result, ShardedFitResult)

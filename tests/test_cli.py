@@ -55,6 +55,29 @@ class TestParser:
         args = build_parser().parse_args(["quickstart", "--n-jobs", "4"])
         assert args.n_jobs == 4
 
+    def test_fault_tolerance_flags_on_every_experiment_command(self):
+        for command in ("quickstart", "compare", "scaling", "robustness"):
+            args = build_parser().parse_args([command])
+            assert args.task_timeout is None
+            assert args.task_retries == 0
+            assert args.checkpoint is None
+
+    def test_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "quickstart",
+                "--task-timeout",
+                "30.5",
+                "--task-retries",
+                "2",
+                "--checkpoint",
+                "/tmp/journal",
+            ]
+        )
+        assert args.task_timeout == 30.5
+        assert args.task_retries == 2
+        assert args.checkpoint == "/tmp/journal"
+
     def test_encoding_store_flags_parse(self):
         args = build_parser().parse_args(
             ["compare", "--encoding-store", "/tmp/store", "--clear-encoding-store"]
@@ -201,6 +224,35 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "accuracy (mean)" in capsys.readouterr().out
+
+    def test_quickstart_checkpoint_resume_is_identical(self, capsys, tmp_path):
+        quickstart = [
+            "quickstart",
+            "--dataset",
+            "MUTAG",
+            "--scale",
+            "0.2",
+            "--dimension",
+            "512",
+            "--folds",
+            "3",
+            "--checkpoint",
+            str(tmp_path / "journal"),
+        ]
+        assert main(quickstart) == 0
+        first = capsys.readouterr().out
+        # The journal was populated by the first run...
+        journal_files = list((tmp_path / "journal").iterdir())
+        assert any(path.name == "journal.json" for path in journal_files)
+        assert any(path.suffix == ".pkl" for path in journal_files)
+        # ...so the second run replays it, reporting identical accuracies.
+        assert main(quickstart) == 0
+        second = capsys.readouterr().out
+
+        def accuracy_lines(text):
+            return [line for line in text.splitlines() if "accuracy" in line]
+
+        assert accuracy_lines(first) == accuracy_lines(second)
 
     def test_n_jobs_env_var_respected(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_N_JOBS", "2")
