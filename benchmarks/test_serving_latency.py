@@ -1,0 +1,228 @@
+"""Load-generator benchmark of the ``repro serve`` inference service.
+
+Trains a packed-backend model at the paper's d=10,000, serves it over HTTP
+on an ephemeral port, and drives it with stdlib-only closed-loop clients in
+two regimes:
+
+* **sequential** — one client, one graph per request: the un-batched
+  baseline, whose latency floor includes the ``max_delay`` batching tax.
+* **concurrent** — many clients firing single-graph requests at once, the
+  regime micro-batching exists for: the server coalesces co-arriving
+  requests into one ``encode_many`` + ``decision_scores`` pass.
+
+Client-side p50/p99 latency and throughput (QPS) of both regimes, together
+with the server's own ``/stats`` (observed batch sizes, queue depth), are
+written to ``BENCH_serving.json`` at the repository root so the serving
+performance trajectory is tracked across PRs.  Correctness rides along: the
+benchmark asserts the served labels are bit-identical to offline
+``predict_encoded`` and that concurrency actually produced batches > 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from conftest import print_report
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.datasets.synthetic import make_benchmark_dataset
+from repro.eval.reporting import render_table
+from repro.serve.app import create_server, start_in_thread
+from repro.serve.client import ServingClient
+
+DIMENSION = 10_000
+BACKEND = "packed"
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+MAX_DELAY_SECONDS = 0.002
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_serving.json"
+)
+
+_RESULTS: dict = {}
+
+
+def _flush_results() -> None:
+    payload = {
+        "generated_by": "benchmarks/test_serving_latency.py",
+        "dimension": DIMENSION,
+        "backend": BACKEND,
+        "max_delay_seconds": MAX_DELAY_SECONDS,
+        **_RESULTS,
+    }
+    with open(os.path.abspath(BENCH_FILE), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    array = np.asarray(latencies, dtype=np.float64) * 1000.0
+    return {
+        "count": int(array.size),
+        "p50_ms": round(float(np.percentile(array, 50)), 3),
+        "p99_ms": round(float(np.percentile(array, 99)), 3),
+        "mean_ms": round(float(array.mean()), 3),
+    }
+
+
+def test_serving_latency_and_batching(profile, tmp_path):
+    """Drive a served packed model sequentially and concurrently; record QPS."""
+    dataset = make_benchmark_dataset("MUTAG", scale=0.5, seed=profile.seed)
+    model = GraphHDClassifier(
+        GraphHDConfig(dimension=DIMENSION, seed=profile.seed, backend=BACKEND)
+    )
+    model.fit(dataset.graphs, dataset.labels)
+    model_path = str(tmp_path / "serving-bench.npz")
+    model.save(model_path)
+
+    # Ground truth for the correctness assertion: the offline batch path.
+    # The request stream cycles the dataset so every client sends real
+    # (distinct-enough) graphs without needing a larger training run.
+    request_graphs = [
+        dataset.graphs[index % len(dataset.graphs)]
+        for index in range(NUM_CLIENTS * REQUESTS_PER_CLIENT)
+    ]
+    offline = GraphHDClassifier.load(model_path)
+    expected = offline.classifier.predict(
+        offline.encoder.encode_many(request_graphs)
+    )
+
+    server = create_server(
+        model_path, port=0, max_delay=MAX_DELAY_SECONDS, max_batch_size=64
+    )
+    start_in_thread(server)
+    host, port = server.server_address[:2]
+    try:
+        with ServingClient(host, port) as probe:
+            assert probe.healthz()["status"] == "ok"
+
+            # ---------------------------------------------- sequential regime
+            sequential_latencies: list[float] = []
+            warmup = probe.predict([request_graphs[0]])
+            assert warmup["model_version"] == 1
+            sequential_start = time.perf_counter()
+            for graph in request_graphs[:REQUESTS_PER_CLIENT]:
+                request_start = time.perf_counter()
+                probe.predict([graph])
+                sequential_latencies.append(time.perf_counter() - request_start)
+            sequential_seconds = time.perf_counter() - sequential_start
+
+        # ------------------------------------------------ concurrent regime
+        served: dict[int, object] = {}
+        concurrent_latencies: list[list[float]] = [[] for _ in range(NUM_CLIENTS)]
+        barrier = threading.Barrier(NUM_CLIENTS + 1)
+
+        def client_loop(worker: int) -> None:
+            with ServingClient(host, port) as client:
+                barrier.wait()
+                for step in range(REQUESTS_PER_CLIENT):
+                    index = worker * REQUESTS_PER_CLIENT + step
+                    request_start = time.perf_counter()
+                    response = client.predict([request_graphs[index]])
+                    concurrent_latencies[worker].append(
+                        time.perf_counter() - request_start
+                    )
+                    served[index] = response["predictions"][0]["label"]
+
+        workers = [
+            threading.Thread(target=client_loop, args=(worker,))
+            for worker in range(NUM_CLIENTS)
+        ]
+        for thread in workers:
+            thread.start()
+        barrier.wait()
+        concurrent_start = time.perf_counter()
+        for thread in workers:
+            thread.join(120.0)
+        concurrent_seconds = time.perf_counter() - concurrent_start
+
+        with ServingClient(host, port) as probe:
+            stats = probe.stats()
+    finally:
+        server.server_close()
+
+    # Served answers are bit-identical to the offline batch path, no matter
+    # how the concurrent singletons were coalesced into micro-batches.
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    assert len(served) == total_requests
+    assert [served[index] for index in range(total_requests)] == expected
+
+    # Concurrency must actually exercise the batcher.
+    max_batch = stats["batch_sizes"]["max"]
+    assert max_batch and max_batch > 1
+
+    flat_concurrent = [
+        latency for worker in concurrent_latencies for latency in worker
+    ]
+    sequential = {
+        "num_requests": len(sequential_latencies),
+        "clients": 1,
+        "qps": round(len(sequential_latencies) / sequential_seconds, 1),
+        "latency": _percentiles(sequential_latencies),
+    }
+    concurrent = {
+        "num_requests": total_requests,
+        "clients": NUM_CLIENTS,
+        "qps": round(total_requests / concurrent_seconds, 1),
+        "latency": _percentiles(flat_concurrent),
+    }
+    _RESULTS.update(
+        {
+            "model": {
+                "dataset": dataset.name,
+                "num_training_graphs": len(dataset),
+                "num_classes": len(offline.classes),
+            },
+            "sequential": sequential,
+            "concurrent": concurrent,
+            "server_stats": {
+                "requests_total": stats["requests_total"],
+                "graphs_total": stats["graphs_total"],
+                "batches_total": stats["batches_total"],
+                "errors_total": stats["errors_total"],
+                "max_batch_size": max_batch,
+                "mean_batch_size": round(stats["batch_sizes"]["mean"], 2),
+                "max_queue_depth": stats["max_queue_depth"],
+                "server_request_latency": stats["request_latency"],
+            },
+        }
+    )
+    _flush_results()
+
+    print_report(
+        f"Serving latency: {BACKEND} model, d={DIMENSION}, "
+        f"{NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests",
+        render_table(
+            ["regime", "clients", "QPS", "p50 ms", "p99 ms", "max batch"],
+            [
+                [
+                    "sequential",
+                    "1",
+                    f"{sequential['qps']:.0f}",
+                    f"{sequential['latency']['p50_ms']:.2f}",
+                    f"{sequential['latency']['p99_ms']:.2f}",
+                    "1",
+                ],
+                [
+                    "concurrent",
+                    str(NUM_CLIENTS),
+                    f"{concurrent['qps']:.0f}",
+                    f"{concurrent['latency']['p50_ms']:.2f}",
+                    f"{concurrent['latency']['p99_ms']:.2f}",
+                    str(max_batch),
+                ],
+            ],
+        ),
+    )
+
+    assert stats["errors_total"] == 0
+    # Well-formed percentile fields (the CI smoke re-checks these from disk).
+    for regime in (sequential, concurrent):
+        assert regime["latency"]["p50_ms"] > 0
+        assert regime["latency"]["p99_ms"] >= regime["latency"]["p50_ms"]

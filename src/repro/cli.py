@@ -13,6 +13,7 @@ without writing code::
     python -m repro.cli train shard --dataset MUTAG --shard-index 0 --num-shards 2 --output s0.npz
     python -m repro.cli train merge s0.npz s1.npz --output model.npz
     python -m repro.cli train info s0.npz
+    python -m repro.cli serve --model model.npz --port 8080
 
 Every sub-command prints plain-text tables (the same renderer the benchmark
 harness uses) and returns a zero exit code on success.
@@ -363,6 +364,49 @@ def _add_train_parser(subparsers) -> None:
     info_parser.add_argument("path", help=".npz training-state file")
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="serve a saved model over HTTP with micro-batched inference "
+        "(POST /predict, GET /healthz, GET /stats, POST /reload)",
+    )
+    parser.add_argument(
+        "--model",
+        required=True,
+        help="path of a trained GraphHDClassifier .npz archive "
+        "(GraphHDClassifier.save or `repro train merge`); train with "
+        "--backend packed for the fastest popcount inference hot path",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        help="graph-count budget of one inference micro-batch; concurrent "
+        "requests coalesce up to this many graphs per encode/similarity pass",
+    )
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="milliseconds a batch opener waits for co-travelling requests "
+        "before executing (the batching latency tax on an idle server)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="fail a request whose batch has not completed in this time",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every request line"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser for ``python -m repro.cli``."""
     parser = argparse.ArgumentParser(
@@ -377,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_datasets_parser(subparsers)
     _add_store_parser(subparsers)
     _add_train_parser(subparsers)
+    _add_serve_parser(subparsers)
     return parser
 
 
@@ -731,6 +776,39 @@ def _run_train_info(args) -> str:
     )
 
 
+def run_serve(args) -> str:
+    """Start the batched inference service and block until interrupted."""
+    # Imported lazily so the serving stack only loads for this command.
+    from repro.serve.app import create_server, run_server
+
+    server = create_server(
+        args.model,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_delay=args.max_delay_ms / 1000.0,
+        request_timeout=args.request_timeout,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    handle = server.service.manager.current()
+    rows = [
+        ["address", f"http://{host}:{port}"],
+        ["model", handle.path],
+        ["model version", handle.version],
+        ["backend", handle.model.config.backend],
+        ["dimension", handle.model.config.dimension],
+        ["classes", handle.num_classes],
+        ["metric", handle.model.metric],
+        ["max batch size", args.max_batch_size],
+        ["max batch delay", f"{args.max_delay_ms} ms"],
+        ["endpoints", "POST /predict, GET /healthz, GET /stats, POST /reload"],
+    ]
+    print(render_table(["field", "value"], rows, title="repro serve"), flush=True)
+    run_server(server)
+    return f"server on http://{host}:{port} stopped"
+
+
 def run_train(args) -> str:
     if args.train_action == "shard":
         return _run_train_shard(args)
@@ -749,6 +827,7 @@ _COMMANDS = {
     "datasets": run_datasets,
     "store": run_store,
     "train": run_train,
+    "serve": run_serve,
 }
 
 

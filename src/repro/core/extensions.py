@@ -314,10 +314,20 @@ class MultiCentroidGraphHDClassifier:
         return [self._centroid_classes[int(index)] for index in winners]
 
     def score(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> float:
-        """Classification accuracy on labelled graphs."""
+        """Classification accuracy on labelled graphs.
+
+        Raises ``ValueError`` on a graphs/labels length mismatch instead of
+        silently truncating the longer side.
+        """
+        graphs = list(graphs)
         labels = list(labels)
         if not labels:
             raise ValueError("cannot score an empty set of graphs")
+        if len(graphs) != len(labels):
+            raise ValueError(
+                "graphs and labels must have the same length: got "
+                f"{len(graphs)} graphs and {len(labels)} labels"
+            )
         predictions = self.predict(graphs)
         correct = sum(
             1 for predicted, actual in zip(predictions, labels) if predicted == actual

@@ -26,12 +26,18 @@ from repro.hdc.training_state import object_vector as _object_vector
 class GraphHDTimings:
     """Wall-clock breakdown of the fit/partial_fit/predict calls (seconds).
 
-    ``training_seconds`` is the end-to-end training wall-time and decomposes
-    exactly into ``encoding_seconds`` (graph -> hypervector encoding) plus
-    ``accumulation_seconds`` (pure class-vector accumulation), so the
-    Figure 3 timing benchmarks can attribute cost to the right stage.
-    ``fit`` overwrites the three training fields; ``partial_fit`` adds its
-    per-sample cost onto them.
+    ``training_seconds`` is the end-to-end training wall-time and, right
+    after ``fit``, decomposes exactly into ``encoding_seconds`` (graph ->
+    hypervector encoding) plus ``accumulation_seconds`` (pure class-vector
+    accumulation), so the Figure 3 timing benchmarks can attribute cost to
+    the right stage.  ``fit`` overwrites the three training fields;
+    ``partial_fit`` adds its per-sample cost onto them.
+
+    ``inference_seconds`` records the pure similarity-search cost of the
+    last ``predict``/``predict_encoded`` call — both paths agree.  The
+    encode cost of a ``predict`` over raw graphs is booked onto
+    ``encoding_seconds`` instead, so a serving layer reading this breakdown
+    decomposes request latency honestly (encode vs. similarity).
     """
 
     encoding_seconds: float = 0.0
@@ -298,15 +304,61 @@ class GraphHDClassifier:
         return self.classifier.decision_scores(encodings)
 
     def predict(self, graphs: Sequence[Graph]) -> list[Hashable]:
-        """Predict the class of each graph."""
+        """Predict the class of each graph.
+
+        Ties between equally similar classes break deterministically toward
+        the earliest-trained class (see :meth:`CentroidClassifier.predict`).
+        The encode cost is added onto ``timings.encoding_seconds`` and
+        ``timings.inference_seconds`` records the pure similarity-search
+        time, exactly as :meth:`predict_encoded` would.
+        """
         graphs = list(graphs)
         if not graphs:
             return []
-        start = time.perf_counter()
+        encode_start = time.perf_counter()
         encodings = self.encoder.encode_many(graphs)
+        encode_end = time.perf_counter()
         predictions = self.classifier.predict(encodings)
-        self.timings.inference_seconds = time.perf_counter() - start
+        self.timings.encoding_seconds += encode_end - encode_start
+        self.timings.inference_seconds = time.perf_counter() - encode_end
         return predictions
+
+    def predict_topk(
+        self, graphs: Sequence[Graph], k: int = 1
+    ) -> list[list[tuple[Hashable, float]]]:
+        """Top-``k`` (label, similarity) pairs for each graph.
+
+        Backed by :meth:`decision_scores` with the same ranking and tie rule
+        as :meth:`predict` (the leading pair of every row is the ``predict``
+        winner); timing bookkeeping matches :meth:`predict`.
+        """
+        graphs = list(graphs)
+        if not graphs:
+            return []
+        encode_start = time.perf_counter()
+        encodings = self.encoder.encode_many(graphs)
+        encode_end = time.perf_counter()
+        results = self.classifier.predict_topk(encodings, k)
+        self.timings.encoding_seconds += encode_end - encode_start
+        self.timings.inference_seconds = time.perf_counter() - encode_end
+        return results
+
+    def predict_topk_encoded(
+        self, encodings: Sequence[np.ndarray] | np.ndarray, k: int = 1
+    ) -> list[list[tuple[Hashable, float]]]:
+        """Top-``k`` (label, similarity) pairs for each pre-encoded graph.
+
+        The serving hot path: one similarity pass yields both the winner and
+        the ranked top-``k``; ``timings.inference_seconds`` records the pure
+        similarity-search cost.
+        """
+        encodings = np.asarray(encodings)
+        if encodings.shape[0] == 0:
+            return []
+        start = time.perf_counter()
+        results = self.classifier.predict_topk(encodings, k)
+        self.timings.inference_seconds = time.perf_counter() - start
+        return results
 
     def predict_encoded(
         self, encodings: Sequence[np.ndarray] | np.ndarray
@@ -331,10 +383,21 @@ class GraphHDClassifier:
         return self.predict([graph])[0]
 
     def score(self, graphs: Sequence[Graph], labels: Sequence[Hashable]) -> float:
-        """Classification accuracy on labelled graphs."""
+        """Classification accuracy on labelled graphs.
+
+        Raises ``ValueError`` when the numbers of graphs and labels differ —
+        a silent ``zip`` truncation would report an accuracy over the wrong
+        sample set.
+        """
+        graphs = list(graphs)
         labels = list(labels)
         if not labels:
             raise ValueError("cannot score an empty set of graphs")
+        if len(graphs) != len(labels):
+            raise ValueError(
+                "graphs and labels must have the same length: got "
+                f"{len(graphs)} graphs and {len(labels)} labels"
+            )
         predictions = self.predict(graphs)
         correct = sum(
             1 for predicted, actual in zip(predictions, labels) if predicted == actual
@@ -442,10 +505,15 @@ class GraphHDClassifier:
                 # Legacy layout: bare per-class arrays, no embedded state.
                 counts = data["class_counts"]
                 for index, label in enumerate(data["class_labels"]):
-                    memory._accumulators[label] = np.array(
-                        data["class_accumulators"][index], dtype=np.int64, copy=True
+                    memory.add_accumulator(
+                        label,
+                        np.array(
+                            data["class_accumulators"][index],
+                            dtype=np.int64,
+                            copy=True,
+                        ),
+                        int(counts[index]),
                     )
-                    memory._counts[label] = int(counts[index])
             else:
                 state = TrainingState._from_payload(data, prefix="state_")
                 # The memory's internal state stays context-free; the context

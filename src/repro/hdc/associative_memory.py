@@ -61,6 +61,9 @@ class AssociativeMemory:
         )
         self._state = TrainingState(self.dimension, backend=self.backend)
         self._storage_width = self.backend.storage_width(self.dimension)
+        # (state, state.mutation_count, matrix): the native reference matrix
+        # memoized for the serving hot path; see _reference_matrix_native.
+        self._reference_cache: tuple[TrainingState, int, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -194,17 +197,39 @@ class AssociativeMemory:
         accumulators or their normalization, per ``normalize_queries``);
         packed storage re-packs the normalized class vectors so the popcount
         similarity kernel can compare them against native queries.
+
+        The matrix is memoized against the training state's
+        :attr:`~repro.hdc.training_state.TrainingState.mutation_count` and
+        returned *read-only*: a long-lived inference service answers every
+        query from one shared matrix instead of re-normalizing the class
+        vectors per request, and concurrent readers cannot corrupt it.  Any
+        accumulator mutation (``add``/``merge_state``/retraining) invalidates
+        the cache on the next query.
         """
+        state = self._state
+        cached = self._reference_cache
+        if (
+            cached is not None
+            and cached[0] is state
+            and cached[1] == state.mutation_count
+        ):
+            return cached[2]
         if self.backend.is_component_space:
-            return self._reference_matrix()
-        # Packed storage: majority-vote each accumulator directly in word
-        # space.  One rng stream per class keeps the tie-breaking draws
-        # bit-identical to class_vector's per-class normalize_hard(acc, rng=0).
-        rows = [
-            self.backend.normalize(accumulator, rng=0)
-            for accumulator in self._accumulators.values()
-        ]
-        return np.vstack(rows)
+            matrix = self._reference_matrix()
+        else:
+            # Packed storage: majority-vote each accumulator directly in word
+            # space.  One rng stream per class keeps the tie-breaking draws
+            # bit-identical to class_vector's per-class
+            # normalize_hard(acc, rng=0).
+            matrix = np.vstack(
+                [
+                    self.backend.normalize(accumulator, rng=0)
+                    for accumulator in self._accumulators.values()
+                ]
+            )
+        matrix.flags.writeable = False
+        self._reference_cache = (state, state.mutation_count, matrix)
+        return matrix
 
     def similarities(
         self, queries: Sequence[np.ndarray] | np.ndarray

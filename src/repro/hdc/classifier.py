@@ -31,7 +31,32 @@ __all__ = [
     "CentroidClassifier",
     "RetrainingReport",
     "label_class_indices",  # re-exported from training_state for callers
+    "topk_from_scores",
 ]
+
+
+def topk_from_scores(
+    scores: np.ndarray, labels: Sequence[Hashable], k: int
+) -> list[list[tuple[Hashable, float]]]:
+    """Top-``k`` (label, score) pairs per row of a decision-score matrix.
+
+    Rows are ranked by descending score with the same deterministic tie rule
+    as :meth:`CentroidClassifier.predict`: equal scores rank in class-column
+    order (first-trained class first), so the leading entry of every row is
+    exactly the ``predict`` winner.  ``k`` is clamped to the number of
+    classes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    scores = np.asarray(scores, dtype=np.float64)
+    k = min(int(k), scores.shape[1])
+    # A stable sort of the negated scores keeps ascending column order among
+    # ties, matching np.argmax's first-occurrence winner.
+    order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    return [
+        [(labels[int(column)], float(scores[row, column])) for column in order[row]]
+        for row in range(scores.shape[0])
+    ]
 
 
 @dataclass
@@ -212,10 +237,29 @@ class CentroidClassifier:
         return self.memory.similarities(encodings)
 
     def predict(self, encodings: Sequence[np.ndarray] | np.ndarray) -> list[Hashable]:
-        """Predict the class of each encoded sample."""
+        """Predict the class of each encoded sample.
+
+        Ties are broken deterministically: the score columns follow class
+        insertion order (first label seen during training first) on every
+        backend, and among equal maximal scores the lowest column index —
+        the earliest-trained class — wins.  Served and offline predictions
+        are therefore stable across backends and batch compositions.
+        """
         scores, labels = self.decision_scores(encodings)
         winners = np.argmax(scores, axis=1)
         return [labels[int(index)] for index in winners]
+
+    def predict_topk(
+        self, encodings: Sequence[np.ndarray] | np.ndarray, k: int = 1
+    ) -> list[list[tuple[Hashable, float]]]:
+        """Top-``k`` (label, score) pairs for each encoded sample.
+
+        Backed by :meth:`decision_scores`; rows are ranked by descending
+        similarity with the same tie rule as :meth:`predict`, so
+        ``predict_topk(x, 1)[i][0][0] == predict(x)[i]`` always holds.
+        """
+        scores, labels = self.decision_scores(encodings)
+        return topk_from_scores(scores, labels, k)
 
     def predict_one(self, encoding: np.ndarray) -> Hashable:
         """Predict the class of a single encoded sample."""
@@ -226,11 +270,21 @@ class CentroidClassifier:
         encodings: Sequence[np.ndarray] | np.ndarray,
         labels: Sequence[Hashable],
     ) -> float:
-        """Classification accuracy on pre-encoded samples."""
+        """Classification accuracy on pre-encoded samples.
+
+        Raises ``ValueError`` when the numbers of encodings and labels
+        differ — a silent ``zip`` truncation would report an accuracy over
+        the wrong sample set.
+        """
         labels = list(labels)
-        predictions = self.predict(encodings)
         if not labels:
             raise ValueError("cannot score an empty set of samples")
+        predictions = self.predict(encodings)
+        if len(predictions) != len(labels):
+            raise ValueError(
+                "encodings and labels must have the same length: got "
+                f"{len(predictions)} encodings and {len(labels)} labels"
+            )
         correct = sum(
             1 for predicted, actual in zip(predictions, labels) if predicted == actual
         )

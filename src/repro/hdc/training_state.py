@@ -130,8 +130,19 @@ class TrainingState:
         self.context = context
         self._accumulators: dict[Hashable, np.ndarray] = {}
         self._counts: dict[Hashable, int] = {}
+        self._mutation_count = 0
 
     # ------------------------------------------------------------------ state
+    @property
+    def mutation_count(self) -> int:
+        """Monotone counter bumped by every accumulator mutation.
+
+        Lets derived-value caches (e.g. the associative memory's normalized
+        reference matrix on the serving hot path) detect staleness without
+        comparing array contents: a cache keyed on ``(state, mutation_count)``
+        is valid exactly while neither changes.
+        """
+        return self._mutation_count
     @property
     def classes(self) -> list[Hashable]:
         """Class labels currently accumulated, in first-seen order."""
@@ -217,6 +228,7 @@ class TrainingState:
         else:
             existing += accumulator
         self._counts[label] = self._counts.get(label, 0) + int(count)
+        self._mutation_count += 1
 
     def add_bitslice(self, label: Hashable, accumulator) -> None:
         """Commit a word-space :class:`~repro.hdc.bitslice.BitSliceAccumulator`.
@@ -265,6 +277,7 @@ class TrainingState:
         else:
             existing += contribution
         self._counts[label] = self._counts.get(label, 0) + (1 if weight > 0 else -1)
+        self._mutation_count += 1
 
     def add_encodings(
         self,
@@ -344,6 +357,7 @@ class TrainingState:
                 )
         if self.context is None and other.context is not None:
             self.context = dict(other.context)
+        self._mutation_count += 1
         return self
 
     def merge(self, other: "TrainingState") -> "TrainingState":

@@ -1,0 +1,49 @@
+"""Batched async inference service for trained GraphHD models.
+
+``repro serve`` loads a saved :class:`~repro.core.model.GraphHDClassifier`
+once, answers graph-classification requests over HTTP, coalesces concurrent
+requests into micro-batches through the flat-batch ``encode_many`` +
+``decision_scores`` hot path, and supports atomic version-checked model hot
+swap.  See the README "Serving" section for the wire schema and runbook.
+"""
+
+from repro.serve.app import InferenceService, create_server, run_server, start_in_thread
+from repro.serve.batcher import (
+    BatchResult,
+    MicroBatcher,
+    ServerStats,
+    ServiceClosedError,
+)
+from repro.serve.client import ServingClient, ServingError, graph_payload
+from repro.serve.model_manager import ModelHandle, ModelManager, StaleVersionError
+from repro.serve.schemas import (
+    PredictRequest,
+    ReloadRequest,
+    SchemaError,
+    graph_from_payload,
+    parse_predict_request,
+    parse_reload_request,
+)
+
+__all__ = [
+    "BatchResult",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelHandle",
+    "ModelManager",
+    "PredictRequest",
+    "ReloadRequest",
+    "SchemaError",
+    "ServerStats",
+    "ServiceClosedError",
+    "ServingClient",
+    "ServingError",
+    "StaleVersionError",
+    "create_server",
+    "graph_from_payload",
+    "graph_payload",
+    "parse_predict_request",
+    "parse_reload_request",
+    "run_server",
+    "start_in_thread",
+]

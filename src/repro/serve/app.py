@@ -1,0 +1,208 @@
+"""The ``repro serve`` application: HTTP front-end over the batched service.
+
+Composition (the classic app / routers / middleware / workers split):
+
+* :class:`InferenceService` — transport-free facade tying the
+  :class:`~repro.serve.model_manager.ModelManager` (load once, atomic hot
+  swap), the :class:`~repro.serve.batcher.MicroBatcher` (request
+  coalescing) and :class:`~repro.serve.batcher.ServerStats` together.
+* :mod:`repro.serve.routers` — pure ``(service, body) -> (status, json)``
+  endpoint functions.
+* :class:`_RequestHandler` + ``ThreadingHTTPServer`` — one stdlib worker
+  thread per connection; workers parse/serialize only and block on the
+  batcher, so all NumPy inference work funnels through the single batcher
+  thread against the shared read-only model.
+
+``create_server`` wires everything and returns the server without starting
+it (tests bind port 0 and drive it from a thread); ``run_server`` is the
+blocking CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.serve.batcher import MicroBatcher, ServerStats
+from repro.serve.model_manager import ModelHandle, ModelManager
+from repro.serve.routers import resolve
+from repro.serve.schemas import (
+    MAX_GRAPHS_PER_REQUEST,
+    PredictRequest,
+    ReloadRequest,
+    prediction_payload,
+)
+
+__all__ = ["InferenceService", "create_server", "run_server"]
+
+#: Largest accepted request body; a JSON graph batch within the per-request
+#: graph cap fits comfortably, anything bigger is rejected with 413.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class InferenceService:
+    """Transport-free serving facade (everything the routes need)."""
+
+    def __init__(
+        self,
+        model_path: str,
+        *,
+        max_batch_size: int = 64,
+        max_delay: float = 0.002,
+        request_timeout: float = 30.0,
+        max_graphs_per_request: int = MAX_GRAPHS_PER_REQUEST,
+    ) -> None:
+        self.manager = ModelManager(model_path)
+        self.stats_recorder = ServerStats()
+        self.batcher = MicroBatcher(
+            self.manager.current,
+            max_batch_size=max_batch_size,
+            max_delay=max_delay,
+            stats=self.stats_recorder,
+        )
+        self.request_timeout = float(request_timeout)
+        self.max_graphs_per_request = int(max_graphs_per_request)
+
+    # ----------------------------------------------------------------- routes
+    def predict(self, request: PredictRequest) -> dict:
+        """Serve one parsed prediction request through the micro-batcher."""
+        result = self.batcher.submit(
+            request.graphs, top_k=request.top_k, timeout=self.request_timeout
+        )
+        return {
+            "model_version": result.handle.version,
+            "metric": result.handle.model.metric,
+            "batch_size": result.batch_size,
+            "predictions": [prediction_payload(topk) for topk in result.topk],
+        }
+
+    def health(self) -> dict:
+        return {"status": "ok", "model": self.manager.current().describe()}
+
+    def stats(self) -> dict:
+        snapshot = self.stats_recorder.snapshot(
+            queue_depth=self.batcher.queue_depth()
+        )
+        snapshot["model"] = self.manager.current().describe()
+        snapshot["policy"] = {
+            "max_batch_size": self.batcher.max_batch_size,
+            "max_delay_seconds": self.batcher.max_delay,
+            "request_timeout_seconds": self.request_timeout,
+            "max_graphs_per_request": self.max_graphs_per_request,
+        }
+        return snapshot
+
+    def reload(self, request: ReloadRequest) -> ModelHandle:
+        return self.manager.reload(
+            path=request.path, expected_version=request.expected_version
+        )
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON-over-HTTP adapter; all logic lives in the routers."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def _dispatch(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        status, target = resolve(method, path)
+        if not callable(target):
+            self._respond(status, target)
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._respond(
+                413,
+                {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
+            )
+            return
+        body = self.rfile.read(length) if length else b""
+        status, payload = target(self.server.service, body)
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class _InferenceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`InferenceService`."""
+
+    daemon_threads = True
+    # Connection backlog under bursty load generators.
+    request_queue_size = 128
+
+    def __init__(self, address, service: InferenceService, verbose: bool = False):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
+
+def create_server(
+    model_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch_size: int = 64,
+    max_delay: float = 0.002,
+    request_timeout: float = 30.0,
+    max_graphs_per_request: int = MAX_GRAPHS_PER_REQUEST,
+    verbose: bool = False,
+) -> _InferenceHTTPServer:
+    """Build the HTTP server (not yet serving) around a saved model.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``), which is how the tests and the load
+    generator run hermetically.
+    """
+    service = InferenceService(
+        model_path,
+        max_batch_size=max_batch_size,
+        max_delay=max_delay,
+        request_timeout=request_timeout,
+        max_graphs_per_request=max_graphs_per_request,
+    )
+    return _InferenceHTTPServer((host, port), service, verbose=verbose)
+
+
+def run_server(server: _InferenceHTTPServer) -> None:
+    """Serve until interrupted, then shut down cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def start_in_thread(server: _InferenceHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests, load generator)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,118 @@
+"""Minimal stdlib HTTP client for the inference service.
+
+Used by the test suite, the load-generator benchmark and the CI smoke — all
+environments where only the standard library is guaranteed — and small
+enough to double as reference code for real clients.  One
+:class:`ServingClient` wraps one persistent ``http.client`` connection, so a
+load-generator thread reuses its socket across requests (keep-alive).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+
+from repro.graphs.graph import Graph
+
+__all__ = ["ServingClient", "ServingError", "graph_payload"]
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response from the inference service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+def graph_payload(graph: Graph) -> dict:
+    """The JSON wire form of a :class:`Graph` (the /predict schema)."""
+    payload: dict = {
+        "num_vertices": graph.num_vertices,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+    }
+    if graph.vertex_labels is not None:
+        payload["vertex_labels"] = list(graph.vertex_labels)
+    return payload
+
+
+class ServingClient:
+    """A persistent-connection JSON client for one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------- transport
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, OSError):
+            # Drop the broken keep-alive socket; the caller may retry.
+            self.close()
+            raise
+        parsed = json.loads(data) if data else {}
+        if not 200 <= response.status < 300:
+            raise ServingError(response.status, parsed)
+        return parsed
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- endpoints
+    def predict(
+        self, graphs: Sequence[Graph | dict], top_k: int | None = None
+    ) -> dict:
+        """POST /predict for a batch of graphs (or pre-built payload dicts)."""
+        payload: dict = {
+            "graphs": [
+                graph_payload(graph) if isinstance(graph, Graph) else graph
+                for graph in graphs
+            ]
+        }
+        if top_k is not None:
+            payload["top_k"] = int(top_k)
+        return self._request("POST", "/predict", payload)
+
+    def predict_labels(
+        self, graphs: Sequence[Graph | dict]
+    ) -> list:
+        """The winning label per graph (the offline ``predict`` shape)."""
+        response = self.predict(graphs)
+        return [entry["label"] for entry in response["predictions"]]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def reload(
+        self, path: str | None = None, expected_version: int | None = None
+    ) -> dict:
+        payload: dict = {}
+        if path is not None:
+            payload["path"] = path
+        if expected_version is not None:
+            payload["expected_version"] = expected_version
+        return self._request("POST", "/reload", payload)

@@ -1,0 +1,102 @@
+"""Route table of the inference service.
+
+Each route is a pure function ``(service, body) -> (status, payload)`` over
+the :class:`~repro.serve.app.InferenceService`; the HTTP layer only parses
+the request line and serializes the JSON.  Keeping the routes transport-free
+makes every endpoint unit-testable without sockets.
+
+========  ==========  ====================================================
+method    path        purpose
+========  ==========  ====================================================
+POST      /predict    micro-batched graph classification (top-k labels)
+GET       /healthz    liveness + live model identity
+GET       /stats      batch sizes, queue depth, latency percentiles
+POST      /reload     version-checked atomic model hot swap
+========  ==========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.hdc.training_state import MergeError
+from repro.serve.batcher import ServiceClosedError
+from repro.serve.model_manager import StaleVersionError
+from repro.serve.schemas import SchemaError, parse_predict_request, parse_reload_request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import InferenceService
+
+__all__ = ["ROUTES", "resolve"]
+
+Handler = Callable[["InferenceService", bytes], tuple[int, dict]]
+
+
+def handle_predict(service: "InferenceService", body: bytes) -> tuple[int, dict]:
+    try:
+        request = parse_predict_request(
+            body,
+            max_graphs=service.max_graphs_per_request,
+            num_classes=service.manager.current().num_classes,
+        )
+    except SchemaError as error:
+        return 400, {"error": str(error)}
+    try:
+        response = service.predict(request)
+    except ServiceClosedError as error:
+        return 503, {"error": str(error)}
+    except TimeoutError as error:
+        return 504, {"error": str(error)}
+    return 200, response
+
+
+def handle_healthz(service: "InferenceService", body: bytes) -> tuple[int, dict]:
+    return 200, service.health()
+
+
+def handle_stats(service: "InferenceService", body: bytes) -> tuple[int, dict]:
+    return 200, service.stats()
+
+
+def handle_reload(service: "InferenceService", body: bytes) -> tuple[int, dict]:
+    try:
+        request = parse_reload_request(body)
+    except SchemaError as error:
+        return 400, {"error": str(error)}
+    try:
+        handle = service.reload(request)
+    except StaleVersionError as error:
+        return 409, {"error": str(error)}
+    except (FileNotFoundError, ValueError, MergeError) as error:
+        return 400, {"error": f"model reload failed: {error}"}
+    return 200, {"reloaded": True, "model": handle.describe()}
+
+
+ROUTES: dict[tuple[str, str], Handler] = {
+    ("POST", "/predict"): handle_predict,
+    ("GET", "/healthz"): handle_healthz,
+    ("GET", "/stats"): handle_stats,
+    ("POST", "/reload"): handle_reload,
+}
+
+
+def resolve(method: str, path: str) -> tuple[int, Handler | dict]:
+    """Route a request line to its handler.
+
+    Returns ``(200, handler)`` on a match, ``(405, payload)`` when the path
+    exists under a different method (naming the allowed ones), and
+    ``(404, payload)`` otherwise.
+    """
+    handler = ROUTES.get((method, path))
+    if handler is not None:
+        return 200, handler
+    allowed = sorted(m for (m, p) in ROUTES if p == path)
+    if allowed:
+        return 405, {
+            "error": f"method {method} not allowed for {path}",
+            "allowed": allowed,
+        }
+    return 404, {
+        "error": f"unknown path {path}",
+        "paths": sorted({p for (_, p) in ROUTES}),
+    }

@@ -60,11 +60,14 @@ class TestFitPredict:
 
     def test_timings_recorded(self, model, two_class_dataset):
         model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        encoding_after_fit = model.timings.encoding_seconds
+        assert encoding_after_fit <= model.timings.training_seconds
         model.predict(two_class_dataset.graphs)
         assert model.timings.training_seconds > 0
-        assert model.timings.encoding_seconds > 0
         assert model.timings.inference_seconds > 0
-        assert model.timings.encoding_seconds <= model.timings.training_seconds
+        # predict books its encode cost onto encoding_seconds, not onto
+        # inference_seconds (which records pure similarity search).
+        assert model.timings.encoding_seconds > encoding_after_fit
 
     def test_timings_decompose_training(self, model, two_class_dataset):
         model.fit(two_class_dataset.graphs, two_class_dataset.labels)
@@ -240,3 +243,105 @@ class TestEncodedPath:
         cached = GraphHDClassifier(config)
         cached.fit_encoded(cached.encode(graphs), labels)
         assert cached.predict_encoded(cached.encode(graphs)) == fitted.predict(graphs)
+
+
+class TestScoreValidation:
+    """score must refuse mismatched inputs instead of zip-truncating."""
+
+    def test_graph_label_length_mismatch_names_both_counts(
+        self, model, two_class_dataset
+    ):
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model.fit(graphs, labels)
+        with pytest.raises(
+            ValueError, match=rf"{len(graphs)} graphs and {len(labels) - 3} labels"
+        ):
+            model.score(graphs, labels[:-3])
+
+    def test_mismatch_detected_for_generator_input(self, model, two_class_dataset):
+        # Generators have no len(); score must materialize them before
+        # comparing, not fall back to silent zip truncation.
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model.fit(graphs, labels)
+        with pytest.raises(ValueError, match="must have the same length"):
+            model.score((graph for graph in graphs), labels[:-1])
+
+    def test_multicentroid_score_mismatch_rejected(self, two_class_dataset):
+        from repro.core.extensions import MultiCentroidGraphHDClassifier
+
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model = MultiCentroidGraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0), centroids_per_class=2
+        )
+        model.fit(graphs, labels)
+        with pytest.raises(ValueError, match="must have the same length"):
+            model.score(graphs, labels[:-1])
+
+
+class TestInferenceTimingSplit:
+    """predict books encode cost on encoding_seconds, not inference_seconds."""
+
+    def test_inference_seconds_excludes_encode_cost(
+        self, model, two_class_dataset, monkeypatch
+    ):
+        import time as time_module
+
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        real_encode_many = model.encoder.encode_many
+
+        def slow_encode_many(graphs):
+            time_module.sleep(0.05)
+            return real_encode_many(graphs)
+
+        monkeypatch.setattr(model.encoder, "encode_many", slow_encode_many)
+        encoding_before = model.timings.encoding_seconds
+        model.predict(two_class_dataset.graphs[:5])
+        # The artificial 50ms encode delay lands on encoding_seconds...
+        assert model.timings.encoding_seconds - encoding_before >= 0.05
+        # ...and inference_seconds records only the similarity search.
+        assert model.timings.inference_seconds < 0.05
+
+    def test_predict_and_predict_encoded_agree_on_inference_timing(
+        self, model, two_class_dataset
+    ):
+        graphs = two_class_dataset.graphs
+        model.fit(graphs, two_class_dataset.labels)
+        model.predict(graphs)
+        via_predict = model.timings.inference_seconds
+        model.predict_encoded(model.encode(graphs))
+        via_encoded = model.timings.inference_seconds
+        # Both record a pure similarity pass over the same batch; they must
+        # be the same order of magnitude (no encode cost hiding in either).
+        assert via_predict < 50 * via_encoded + 0.05
+        assert via_encoded < 50 * via_predict + 0.05
+
+    def test_predict_topk_books_timings_like_predict(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        encoding_before = model.timings.encoding_seconds
+        model.predict_topk(two_class_dataset.graphs[:5], k=2)
+        assert model.timings.encoding_seconds > encoding_before
+        assert model.timings.inference_seconds > 0
+
+
+class TestTopKPredictions:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_top1_label_equals_predict(self, two_class_dataset, backend):
+        model = GraphHDClassifier(
+            GraphHDConfig(dimension=DIMENSION, seed=0, backend=backend)
+        )
+        graphs, labels = two_class_dataset.graphs, two_class_dataset.labels
+        model.fit(graphs, labels)
+        ranked = model.predict_topk(graphs, k=1)
+        assert [row[0][0] for row in ranked] == model.predict(graphs)
+
+    def test_predict_topk_encoded_matches_graph_path(self, model, two_class_dataset):
+        graphs = two_class_dataset.graphs
+        model.fit(graphs, two_class_dataset.labels)
+        assert model.predict_topk_encoded(
+            model.encode(graphs), k=2
+        ) == model.predict_topk(graphs, k=2)
+
+    def test_empty_input(self, model, two_class_dataset):
+        model.fit(two_class_dataset.graphs, two_class_dataset.labels)
+        assert model.predict_topk([]) == []
+        assert model.predict_topk_encoded(np.zeros((0, DIMENSION))) == []

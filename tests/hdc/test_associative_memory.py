@@ -198,3 +198,72 @@ class TestAccumulatorValidation:
         memory.add_accumulator("a", np.ones(DIMENSION, dtype=np.int32), 2)
         assert memory.count("a") == 2
         assert memory._accumulators["a"].dtype == np.int64
+
+
+class TestReferenceMatrixCache:
+    """The memoized read-only reference matrix behind the serving hot path."""
+
+    def _trained(self, backend=None):
+        memory = AssociativeMemory(DIMENSION, backend=backend)
+        for label in range(3):
+            # backend.random yields native-format vectors (dense bipolar or
+            # packed words), so the helper works for either backend.
+            memory.add_many(label, memory.backend.random(4, DIMENSION, rng=label))
+        return memory
+
+    def test_repeated_queries_share_one_matrix(self):
+        memory = self._trained()
+        first = memory._reference_matrix_native()
+        assert memory._reference_matrix_native() is first
+
+    def test_matrix_is_read_only(self):
+        memory = self._trained()
+        matrix = memory._reference_matrix_native()
+        assert matrix.flags.writeable is False
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 0
+
+    @pytest.mark.parametrize("backend", [None, "packed"])
+    def test_cached_matrix_matches_fresh_computation(self, backend):
+        memory = self._trained(backend=backend)
+        cached = memory._reference_matrix_native()
+        fresh = AssociativeMemory.from_state(
+            memory.export_state(), metric=memory.metric
+        )._reference_matrix_native()
+        assert np.array_equal(cached, fresh)
+
+    def test_add_invalidates_cache(self):
+        memory = self._trained()
+        stale = memory._reference_matrix_native()
+        memory.add(0, random_bipolar(DIMENSION, rng=99))
+        fresh = memory._reference_matrix_native()
+        assert fresh is not stale
+        assert not np.array_equal(fresh, stale)
+
+    def test_merge_state_invalidates_cache(self):
+        memory = self._trained()
+        stale = memory._reference_matrix_native()
+        memory.merge_state(self._trained().export_state())
+        assert memory._reference_matrix_native() is not stale
+
+    def test_add_accumulator_invalidates_cache(self):
+        memory = self._trained()
+        stale = memory._reference_matrix_native()
+        memory.add_accumulator(7, np.ones(DIMENSION, dtype=np.int64), 1)
+        fresh = memory._reference_matrix_native()
+        assert fresh.shape[0] == stale.shape[0] + 1
+
+    def test_stale_matrix_stays_valid_for_old_readers(self):
+        # An in-flight batch holding the old matrix must not see the update.
+        memory = self._trained()
+        stale = memory._reference_matrix_native()
+        snapshot = stale.copy()
+        memory.add(0, random_bipolar(DIMENSION, rng=5))
+        memory._reference_matrix_native()
+        assert np.array_equal(stale, snapshot)
+
+    def test_query_results_unchanged_by_caching(self):
+        memory = self._trained()
+        query = random_bipolar(DIMENSION, rng=42)
+        first = memory.query(query)
+        assert memory.query(query) == first

@@ -208,3 +208,104 @@ class TestStateAPI:
         classifier = CentroidClassifier(DIMENSION)
         with pytest.raises(MergeError, match="dimension mismatch"):
             classifier.fit_from_state(TrainingState(DIMENSION * 2))
+
+
+class TestScoreLengthMismatch:
+    """score must refuse mismatched inputs instead of zip-truncating."""
+
+    def test_more_encodings_than_labels_rejected(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(
+            ValueError,
+            match=rf"{len(labels)} encodings and {len(labels) - 2} labels",
+        ):
+            classifier.score(encodings, labels[:-2])
+
+    def test_more_labels_than_encodings_rejected(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(ValueError, match="must have the same length"):
+            classifier.score(encodings[:-2], labels)
+
+
+class TestDeterministicTieRule:
+    """Equal maximal scores resolve to the earliest-trained class."""
+
+    def _tied_classifier(self, first, second):
+        # Both classes get the *same* centroid, so every query ties exactly.
+        prototype = random_bipolar(DIMENSION, rng=0)
+        classifier = CentroidClassifier(DIMENSION)
+        classifier.partial_fit(prototype, first)
+        classifier.partial_fit(prototype, second)
+        return classifier, prototype
+
+    def test_first_trained_class_wins(self):
+        classifier, prototype = self._tied_classifier("early", "late")
+        assert classifier.predict_one(prototype) == "early"
+
+    def test_tie_winner_follows_insertion_order_not_label_order(self):
+        # Reversing the training order flips the winner: the rule is
+        # insertion order, not any property of the labels themselves.
+        classifier, prototype = self._tied_classifier("late", "early")
+        assert classifier.predict_one(prototype) == "late"
+
+    def test_topk_ranks_ties_in_insertion_order(self):
+        classifier, prototype = self._tied_classifier("early", "late")
+        ranked = classifier.predict_topk(prototype[None, :], k=2)[0]
+        assert [label for label, _ in ranked] == ["early", "late"]
+        assert ranked[0][1] == pytest.approx(ranked[1][1])
+
+    def test_tie_rule_stable_on_packed_backend(self):
+        from repro.hdc.backend import get_backend
+
+        backend = get_backend("packed")
+        prototype = backend.random_one(DIMENSION, rng=0)
+        classifier = CentroidClassifier(
+            DIMENSION, metric="hamming", backend=backend
+        )
+        classifier.partial_fit(prototype, "early")
+        classifier.partial_fit(prototype, "late")
+        assert classifier.predict_one(prototype) == "early"
+
+
+class TestTopK:
+    def test_top1_equals_predict(self, clustered_data):
+        from repro.hdc.classifier import topk_from_scores
+
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        ranked = classifier.predict_topk(encodings, k=1)
+        assert [row[0][0] for row in ranked] == classifier.predict(encodings)
+        scores, classes = classifier.decision_scores(encodings)
+        assert [
+            row[0][0] for row in topk_from_scores(scores, classes, 1)
+        ] == classifier.predict(encodings)
+
+    def test_scores_descend_and_match_decision_scores(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        scores, classes = classifier.decision_scores(encodings[:4])
+        ranked = classifier.predict_topk(encodings[:4], k=3)
+        for row_index, row in enumerate(ranked):
+            values = [score for _, score in row]
+            assert values == sorted(values, reverse=True)
+            for label, score in row:
+                column = classes.index(label)
+                assert score == pytest.approx(scores[row_index, column])
+
+    def test_k_clamped_to_class_count(self, clustered_data):
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        ranked = classifier.predict_topk(encodings[:2], k=50)
+        assert all(len(row) == len(classifier.classes) for row in ranked)
+
+    def test_k_must_be_positive(self, clustered_data):
+        from repro.hdc.classifier import topk_from_scores
+
+        encodings, labels, _ = clustered_data
+        classifier = CentroidClassifier(DIMENSION).fit(encodings, labels)
+        with pytest.raises(ValueError, match="k must be positive"):
+            classifier.predict_topk(encodings[:1], k=0)
+        with pytest.raises(ValueError, match="k must be positive"):
+            topk_from_scores(np.zeros((1, 2)), ["a", "b"], -1)

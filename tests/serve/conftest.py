@@ -1,0 +1,49 @@
+"""Shared fixtures for the serving test suite.
+
+Models are trained once per session on the shared MUTAG-style dataset and
+saved to disk; individual tests load/serve those archives.  Servers always
+bind port 0 (ephemeral) so the suite is parallel-safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import GraphHDConfig
+from repro.core.model import GraphHDClassifier
+from repro.datasets.synthetic import make_benchmark_dataset
+
+DIMENSION = 1024
+
+
+@pytest.fixture(scope="session")
+def serve_dataset():
+    return make_benchmark_dataset("MUTAG", scale=0.3, seed=5)
+
+
+def _train_and_save(dataset, path, backend: str, seed: int = 0) -> str:
+    model = GraphHDClassifier(
+        GraphHDConfig(dimension=DIMENSION, seed=seed, backend=backend)
+    )
+    model.fit(dataset.graphs, dataset.labels)
+    model.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def dense_model_path(serve_dataset, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve-models") / "dense.npz"
+    return _train_and_save(serve_dataset, path, "dense")
+
+
+@pytest.fixture(scope="session")
+def packed_model_path(serve_dataset, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("serve-models") / "packed.npz"
+    return _train_and_save(serve_dataset, path, "packed")
+
+
+@pytest.fixture(scope="session")
+def retrained_model_path(serve_dataset, tmp_path_factory) -> str:
+    """A second, distinguishable packed model (different basis seed)."""
+    path = tmp_path_factory.mktemp("serve-models") / "packed-v2.npz"
+    return _train_and_save(serve_dataset, path, "packed", seed=11)
